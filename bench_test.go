@@ -1,0 +1,540 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the Section 2.3 microlatencies and the ablations
+// DESIGN.md calls out. Domain results (errors in Celsius, drop rates)
+// are attached to each benchmark via ReportMetric, so
+// `go test -bench=. -benchmem` both times the harness and re-checks
+// the reproduced shapes.
+package mercury_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	mercury "github.com/darklab/mercury"
+	"github.com/darklab/mercury/internal/experiments"
+	"github.com/darklab/mercury/internal/fanctl"
+	"github.com/darklab/mercury/internal/fiddle"
+	"github.com/darklab/mercury/internal/freon"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/units"
+	"github.com/darklab/mercury/internal/webcluster"
+)
+
+// benchExperiment runs a registered experiment per iteration and
+// reports selected metrics from the final run.
+func benchExperiment(b *testing.B, name string, metrics ...string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, m := range metrics {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// Section 2.3: the solver computes each iteration in ~100us on the
+// paper's 2006 hardware; these report the per-iteration cost for
+// 1-, 4- and 16-machine rooms.
+func BenchmarkSolverIteration(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("machines-%d", n), func(b *testing.B) {
+			c, err := model.DefaultCluster("room", n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := solver.New(c, solver.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetUtilization("machine1", model.UtilCPU, 0.7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
+// Section 2.3: readsensor() averages ~300us over UDP in the paper
+// (against ~500us for a real SCSI in-disk sensor).
+func BenchmarkReadSensor(b *testing.B) {
+	sol, err := mercury.NewSolver(mercury.DefaultServer("m1"), mercury.SolverConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := mercury.ListenSolver("127.0.0.1:0", sol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	sd, err := mercury.OpenSensor(srv.Addr().String(), "m1", mercury.NodeCPU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sd.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sd.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverSteadyState times the analytic fixed point used by
+// calibration sweeps and the Fluent comparison.
+func BenchmarkSolverSteadyState(b *testing.B) {
+	s, err := mercury.NewSolver(mercury.DefaultServer("m1"), mercury.SolverConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetUtilization("m1", mercury.UtilCPU, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SteadyState("m1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1.
+func BenchmarkTable1Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := model.DefaultServer("server")
+		if err := m.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 5-8 and the Fluent table: each iteration regenerates the
+// whole experiment (reference run + calibration + comparison).
+func BenchmarkFig5CPUCalibration(b *testing.B) {
+	benchExperiment(b, "fig5", "post_calibration_maxabs")
+}
+
+func BenchmarkFig6DiskCalibration(b *testing.B) {
+	benchExperiment(b, "fig6", "post_calibration_maxabs")
+}
+
+func BenchmarkFig7CPUValidation(b *testing.B) {
+	benchExperiment(b, "fig7", "validation_maxabs")
+}
+
+func BenchmarkFig8DiskValidation(b *testing.B) {
+	benchExperiment(b, "fig8", "validation_maxabs")
+}
+
+func BenchmarkFluentSteadyState(b *testing.B) {
+	benchExperiment(b, "fluent", "max_cpu_delta", "max_disk_delta")
+}
+
+// Section 5: the three cluster runs.
+func BenchmarkFig11FreonBase(b *testing.B) {
+	benchExperiment(b, "fig11", "drop_rate", "max_cpu_temp_machine1")
+}
+
+func BenchmarkTraditionalPolicy(b *testing.B) {
+	benchExperiment(b, "trad", "drop_rate", "servers_shut_down")
+}
+
+func BenchmarkFig12FreonEC(b *testing.B) {
+	benchExperiment(b, "fig12", "drop_rate", "min_active_servers", "total_energy_joules")
+}
+
+// ---- Ablations (DESIGN.md section 5) ----
+
+// freonVariantRun executes the Figure 11 rig with a configurable
+// per-period hook and returns (dropRate, maxCPUTemp over the hot
+// machines).
+func freonVariantRun(b *testing.B, setup func(*experiments.Sim) (onPoll, onPeriod func() error, err error)) (float64, float64) {
+	b.Helper()
+	sim, err := experiments.NewSim(4, 1, 2000*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	script, err := fiddle.ParseScript("sleep 480\nfiddle machine1 temperature inlet 38.6\nfiddle machine3 temperature inlet 35.6\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.Fiddle = script.Schedule()
+	onPoll, onPeriod, err := setup(sim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.OnPoll = onPoll
+	sim.OnPeriod = onPeriod
+	maxTemp := 0.0
+	sim.OnSecond = func(sec int, tick webcluster.Tick) error {
+		for _, m := range []string{"machine1", "machine3"} {
+			t, err := sim.Solver.Temperature(m, model.NodeCPU)
+			if err != nil {
+				return err
+			}
+			if float64(t) > maxTemp {
+				maxTemp = float64(t)
+			}
+		}
+		return nil
+	}
+	if err := sim.Run(2000 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return sim.Cluster.Totals().DropRate(), maxTemp
+}
+
+// BenchmarkAblationController compares the paper's PD admission
+// controller against P-only and an aggressive high-gain variant.
+func BenchmarkAblationController(b *testing.B) {
+	variants := []struct {
+		name   string
+		kp, kd float64
+	}{
+		{"pd-paper", 0.1, 0.2},
+		{"p-only", 0.1, 1e-9},
+		{"aggressive", 1.0, 0.5},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var drop, maxTemp float64
+			for i := 0; i < b.N; i++ {
+				drop, maxTemp = freonVariantRun(b, func(sim *experiments.Sim) (func() error, func() error, error) {
+					fr, err := freon.New(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(),
+						freon.Config{Kp: v.kp, Kd: v.kd})
+					if err != nil {
+						return nil, nil, err
+					}
+					return fr.TickPoll, fr.TickPeriod, nil
+				})
+			}
+			b.ReportMetric(drop*100, "drop_%")
+			b.ReportMetric(maxTemp, "max_hot_C")
+		})
+	}
+}
+
+// BenchmarkAblationLocalThrottle compares Freon's remote throttling
+// against CPU-local DVFS-style throttling (Section 4.3): the local
+// policy cools the CPU by slowing it, which costs service capacity and
+// drops requests under the same emergencies.
+func BenchmarkAblationLocalThrottle(b *testing.B) {
+	th := float64(freon.DefaultComponents()[0].High)
+	tl := float64(freon.DefaultComponents()[0].Low)
+	b.Run("remote-freon", func(b *testing.B) {
+		var drop, maxTemp float64
+		for i := 0; i < b.N; i++ {
+			drop, maxTemp = freonVariantRun(b, func(sim *experiments.Sim) (func() error, func() error, error) {
+				fr, err := freon.New(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(), freon.Config{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return fr.TickPoll, fr.TickPeriod, nil
+			})
+		}
+		b.ReportMetric(drop*100, "drop_%")
+		b.ReportMetric(maxTemp, "max_hot_C")
+	})
+	b.Run("local-dvfs", func(b *testing.B) {
+		var drop, maxTemp float64
+		for i := 0; i < b.N; i++ {
+			drop, maxTemp = freonVariantRun(b, func(sim *experiments.Sim) (func() error, func() error, error) {
+				scale := map[string]float64{}
+				for _, m := range sim.Cluster.Machines() {
+					scale[m] = 1
+				}
+				onPeriod := func() error {
+					for _, m := range sim.Cluster.Machines() {
+						t, err := sim.Solver.Temperature(m, model.NodeCPU)
+						if err != nil {
+							return err
+						}
+						switch {
+						case float64(t) > th && scale[m] > 0.4:
+							scale[m] -= 0.15 // drop a frequency step
+						case float64(t) < tl && scale[m] < 1:
+							scale[m] += 0.15
+							if scale[m] > 1 {
+								scale[m] = 1
+							}
+						default:
+							continue
+						}
+						if err := sim.Solver.SetPowerScale(m, model.NodeCPU, units.Fraction(scale[m])); err != nil {
+							return err
+						}
+						if err := sim.Cluster.SetSpeed(m, scale[m]); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				return nil, onPeriod, nil
+			})
+		}
+		b.ReportMetric(drop*100, "drop_%")
+		b.ReportMetric(maxTemp, "max_hot_C")
+	})
+}
+
+// BenchmarkAblationRegionBlind compares Freon-EC's region-aware server
+// selection against a region-blind variant (everything in one region):
+// blind selection can bring replacement servers up inside the
+// emergency's blast radius.
+func BenchmarkAblationRegionBlind(b *testing.B) {
+	run := func(b *testing.B, regions map[string]int) (float64, float64) {
+		return freonVariantRun(b, func(sim *experiments.Sim) (func() error, func() error, error) {
+			ec, err := freon.NewEC(sim.Cluster.Machines(), sim.Solver, sim.Solver, sim.Bal, sim.Power(),
+				freon.ECConfig{Regions: regions})
+			if err != nil {
+				return nil, nil, err
+			}
+			return ec.TickPoll, ec.TickPeriod, nil
+		})
+	}
+	b.Run("region-aware", func(b *testing.B) {
+		var drop, maxTemp float64
+		for i := 0; i < b.N; i++ {
+			drop, maxTemp = run(b, map[string]int{"machine1": 0, "machine3": 0, "machine2": 1, "machine4": 1})
+		}
+		b.ReportMetric(drop*100, "drop_%")
+		b.ReportMetric(maxTemp, "max_hot_C")
+	})
+	b.Run("region-blind", func(b *testing.B) {
+		var drop, maxTemp float64
+		for i := 0; i < b.N; i++ {
+			drop, maxTemp = run(b, map[string]int{"machine1": 0, "machine2": 0, "machine3": 0, "machine4": 0})
+		}
+		b.ReportMetric(drop*100, "drop_%")
+		b.ReportMetric(maxTemp, "max_hot_C")
+	})
+}
+
+// BenchmarkAblationStepSize measures the accuracy-vs-cost tradeoff of
+// the solver's iteration period against a 100ms reference trajectory.
+func BenchmarkAblationStepSize(b *testing.B) {
+	reference := func() float64 {
+		s, err := solver.NewSingle(model.DefaultServer("m1"), solver.Config{Step: 100 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetUtilization("m1", model.UtilCPU, 1)
+		s.Run(30 * time.Minute)
+		t, err := s.Temperature("m1", model.NodeCPU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(t)
+	}()
+	for _, step := range []time.Duration{time.Second, 5 * time.Second} {
+		b.Run(step.String(), func(b *testing.B) {
+			var errC float64
+			for i := 0; i < b.N; i++ {
+				s, err := solver.NewSingle(model.DefaultServer("m1"), solver.Config{Step: step})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.SetUtilization("m1", model.UtilCPU, 1)
+				s.Run(30 * time.Minute)
+				t, err := s.Temperature("m1", model.NodeCPU)
+				if err != nil {
+					b.Fatal(err)
+				}
+				errC = float64(t) - reference
+				if errC < 0 {
+					errC = -errC
+				}
+			}
+			b.ReportMetric(errC, "abs_error_C")
+		})
+	}
+}
+
+// BenchmarkAblationPowerModel compares the default linear
+// utilization-to-power model against a piecewise fit on the reference
+// machine's slightly super-linear CPU, measuring held-out emulation
+// error.
+func BenchmarkAblationPowerModel(b *testing.B) {
+	runWith := func(b *testing.B, m *model.Machine) float64 {
+		b.Helper()
+		ref := mercury.NewRefServer(42)
+		bench := mercury.CombinedBenchmark("server", 7, 2000*time.Second, 50*time.Second)
+		meas := ref.Replay(bench, 10*time.Second)
+		sol, err := solver.NewSingle(m.Clone("server"), solver.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		log, err := mercury.Replay(sol, bench, []mercury.Probe{{Machine: "server", Node: model.NodeCPUAir}}, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, rec := range log.Records {
+			d := float64(rec.Temp) - meas.CPUAir.At(rec.At)
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	b.Run("linear", func(b *testing.B) {
+		var worst float64
+		for i := 0; i < b.N; i++ {
+			worst = runWith(b, model.DefaultServer("server"))
+		}
+		b.ReportMetric(worst, "max_error_C")
+	})
+	b.Run("piecewise", func(b *testing.B) {
+		var worst float64
+		for i := 0; i < b.N; i++ {
+			m := model.DefaultServer("server")
+			// A bowed curve approximating u^1.1 between the endpoints.
+			pw, err := mercury.NewPiecewisePower(
+				[]units.Fraction{0, 0.25, 0.5, 0.75, 1},
+				[]units.Watts{7, 12.1, 18.0, 24.3, 31},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Component(model.NodeCPU).Power = pw
+			worst = runWith(b, m)
+		}
+		b.ReportMetric(worst, "max_error_C")
+	})
+}
+
+// BenchmarkAblationTwoStage compares the base policy (weights first)
+// against the Section 4.3 two-stage content-aware policy (block the
+// hot component's heavy request class first, weights only on
+// escalation).
+func BenchmarkAblationTwoStage(b *testing.B) {
+	run := func(b *testing.B, twoStage bool) (float64, float64) {
+		return freonVariantRun(b, func(sim *experiments.Sim) (func() error, func() error, error) {
+			fr, err := freon.New(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(),
+				freon.Config{TwoStage: twoStage})
+			if err != nil {
+				return nil, nil, err
+			}
+			return fr.TickPoll, fr.TickPeriod, nil
+		})
+	}
+	for _, twoStage := range []bool{false, true} {
+		name := "weights-first"
+		if twoStage {
+			name = "two-stage"
+		}
+		b.Run(name, func(b *testing.B) {
+			var drop, maxTemp float64
+			for i := 0; i < b.N; i++ {
+				drop, maxTemp = run(b, twoStage)
+			}
+			b.ReportMetric(drop*100, "drop_%")
+			b.ReportMetric(maxTemp, "max_hot_C")
+		})
+	}
+}
+
+// BenchmarkAblationFanControl measures how much a firmware-style
+// variable-speed fan (Section 7's extension) lowers the hot machines'
+// peak temperature under the Figure 11 emergencies, with no load
+// management at all.
+func BenchmarkAblationFanControl(b *testing.B) {
+	run := func(b *testing.B, withFans bool) (float64, float64) {
+		return freonVariantRun(b, func(sim *experiments.Sim) (func() error, func() error, error) {
+			if !withFans {
+				return nil, nil, nil
+			}
+			var ctls []*fanctl.Controller
+			for _, m := range sim.Cluster.Machines() {
+				c, err := fanctl.New(m, sim.Solver, sim.Solver, fanctl.DefaultConfig())
+				if err != nil {
+					return nil, nil, err
+				}
+				ctls = append(ctls, c)
+			}
+			onPoll := func() error {
+				for _, c := range ctls {
+					if err := c.Tick(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return onPoll, nil, nil
+		})
+	}
+	for _, withFans := range []bool{false, true} {
+		name := "fixed-fan"
+		if withFans {
+			name = "variable-fan"
+		}
+		b.Run(name, func(b *testing.B) {
+			var drop, maxTemp float64
+			for i := 0; i < b.N; i++ {
+				drop, maxTemp = run(b, withFans)
+			}
+			b.ReportMetric(drop*100, "drop_%")
+			b.ReportMetric(maxTemp, "max_hot_C")
+		})
+	}
+}
+
+// BenchmarkMultiTierFreon regenerates the multi-tier extension
+// experiment (per-tier Freon under a backend emergency).
+func BenchmarkMultiTierFreon(b *testing.B) {
+	benchExperiment(b, "multitier", "drop_rate", "max_cpu_temp_machine3")
+}
+
+// BenchmarkRecirc regenerates the rack-recirculation extension
+// experiment.
+func BenchmarkRecirc(b *testing.B) {
+	benchExperiment(b, "recirc", "hot_spot_C")
+}
+
+// BenchmarkDotParse measures the model language front end on the
+// Table 1 server description.
+func BenchmarkDotParse(b *testing.B) {
+	src := mercury.PrintMachine(mercury.DefaultServer("server"))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mercury.ParseMachine(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceReplay measures offline mode: one emulated hour of
+// trace replay with one probe, per iteration.
+func BenchmarkTraceReplay(b *testing.B) {
+	var src strings.Builder
+	for s := 0; s <= 3600; s += 10 {
+		fmt.Fprintf(&src, "%d m1 cpu %0.2f\n", s, float64(s%100)/100)
+	}
+	tr, err := mercury.ReadUtilTrace(strings.NewReader(src.String()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := mercury.NewSolver(mercury.DefaultServer("m1"), mercury.SolverConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mercury.Replay(sol, tr, []mercury.Probe{{Machine: "m1", Node: mercury.NodeCPU}}, 60*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

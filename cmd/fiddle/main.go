@@ -1,0 +1,70 @@
+// Command fiddle injects thermal emergencies and other run-time
+// changes into a running solver daemon (Section 2.3's thermal
+// emergency tool). One-shot, matching the paper's usage:
+//
+//	fiddle -solver 127.0.0.1:8367 machine1 temperature inlet 30
+//	fiddle -solver 127.0.0.1:8367 machine1 temperature inlet auto
+//	fiddle -solver 127.0.0.1:8367 machine1 fanflow 55
+//	fiddle -solver 127.0.0.1:8367 machine1 power off
+//	fiddle -solver 127.0.0.1:8367 source ac temperature 27
+//
+// Script mode runs a Figure 4-style script with real sleeps:
+//
+//	fiddle -solver 127.0.0.1:8367 -script emergency.fiddle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/darklab/mercury/internal/fiddle"
+)
+
+func main() {
+	var (
+		solverAddr = flag.String("solver", "127.0.0.1:8367", "solver daemon UDP address")
+		script     = flag.String("script", "", "fiddle script to run (sleep/fiddle lines)")
+		timeout    = flag.Duration("timeout", 0, "per-operation reply timeout (0 = default)")
+	)
+	flag.Parse()
+
+	client, err := fiddle.Dial(*solverAddr, *timeout, 0)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	if *script != "" {
+		src, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := fiddle.ParseScript(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Run(client, time.Sleep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fiddle [-solver addr] <machine> <verb> <args...> (or -script file)")
+		os.Exit(2)
+	}
+	op, err := fiddle.ParseCommand(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if err := client.Apply(op); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fiddle:", err)
+	os.Exit(1)
+}

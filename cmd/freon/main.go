@@ -1,0 +1,124 @@
+// Command freon runs a Freon-managed emulated web cluster: the
+// Section 5 rig (Table 1 servers + LVS-style balancer + diurnal web
+// trace + the two-machine inlet emergency at t=480s) under a selected
+// policy, printing a per-minute timeline and the final summary.
+//
+//	freon -policy base
+//	freon -policy twostage    # content-aware first stage (Section 4.3)
+//	freon -policy ec
+//	freon -policy traditional
+//	freon -policy none        # no thermal management at all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/darklab/mercury/internal/experiments"
+	"github.com/darklab/mercury/internal/fiddle"
+	"github.com/darklab/mercury/internal/freon"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/webcluster"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "base", "thermal policy: base, twostage, ec, traditional, none")
+		machines = flag.Int("machines", 4, "cluster size")
+		duration = flag.Duration("duration", 2000*time.Second, "emulated run length")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		quiet    = flag.Bool("quiet", false, "suppress the per-minute timeline")
+	)
+	flag.Parse()
+
+	if err := run(*policy, *machines, *duration, *seed, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "freon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(policy string, machines int, duration time.Duration, seed int64, quiet bool) error {
+	sim, err := experiments.NewSim(machines, seed, duration)
+	if err != nil {
+		return err
+	}
+	// The paper's emergencies: machine1 inlet to 38.6C, machine3 to
+	// 35.6C at t=480s, lasting the whole run.
+	script, err := fiddle.ParseScript(`sleep 480
+fiddle machine1 temperature inlet 38.6
+fiddle machine3 temperature inlet 35.6
+`)
+	if err != nil {
+		return err
+	}
+	sim.Fiddle = script.Schedule()
+
+	var activeFn func() int
+	switch policy {
+	case "base", "twostage":
+		fr, err := freon.New(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(),
+			freon.Config{TwoStage: policy == "twostage"})
+		if err != nil {
+			return err
+		}
+		sim.OnPoll = fr.TickPoll
+		sim.OnPeriod = fr.TickPeriod
+	case "ec":
+		regions := map[string]int{}
+		for i, m := range sim.Cluster.Machines() {
+			regions[m] = i % 2
+		}
+		ec, err := freon.NewEC(sim.Cluster.Machines(), sim.Solver, sim.Solver, sim.Bal, sim.Power(),
+			freon.ECConfig{Regions: regions})
+		if err != nil {
+			return err
+		}
+		sim.OnPoll = ec.TickPoll
+		sim.OnPeriod = ec.TickPeriod
+		activeFn = ec.ActiveCount
+	case "traditional":
+		tr, err := freon.NewTraditional(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(), freon.Config{})
+		if err != nil {
+			return err
+		}
+		sim.OnPeriod = tr.TickPeriod
+	case "none":
+		// No management: temperatures go where they go.
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	if !quiet {
+		sim.OnSecond = func(sec int, tick webcluster.Tick) error {
+			if (sec+1)%60 != 0 {
+				return nil
+			}
+			fmt.Printf("t=%5ds", sec+1)
+			for _, m := range sim.Cluster.Machines() {
+				temp, err := sim.Solver.Temperature(m, model.NodeCPU)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  %s: %5.1fC %3.0f%%", m, float64(temp), tick.PerServer[m].CPUUtil.Percent())
+			}
+			if activeFn != nil {
+				fmt.Printf("  active=%d", activeFn())
+			}
+			t := sim.Cluster.Totals()
+			fmt.Printf("  dropped=%d\n", t.Dropped)
+			return nil
+		}
+	}
+
+	if err := sim.Run(duration); err != nil {
+		return err
+	}
+	t := sim.Cluster.Totals()
+	fmt.Printf("\npolicy=%s machines=%d duration=%v\n", policy, machines, duration)
+	fmt.Printf("requests: arrived=%d completed=%d dropped=%d (%.2f%%)\n",
+		t.Arrived, t.Completed, t.Dropped, 100*t.DropRate())
+	fmt.Printf("energy: %.0f kJ\n", float64(sim.Solver.TotalEnergy())/1000)
+	return nil
+}

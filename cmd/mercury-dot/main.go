@@ -1,0 +1,86 @@
+// Command mercury-dot validates and converts Mercury model
+// descriptions written in the suite's modified dot language.
+//
+//	mercury-dot check room.mdot          # parse + validate
+//	mercury-dot print room.mdot          # normalize (round-trip) to stdout
+//	mercury-dot graphviz room.mdot       # plain graphviz for visualization
+//	mercury-dot default                  # emit the Table 1 server
+//	mercury-dot default-cluster 4        # emit the 4-machine room
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/darklab/mercury/internal/dotlang"
+	"github.com/darklab/mercury/internal/model"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "default":
+		fmt.Print(dotlang.PrintMachine(model.DefaultServer("server")))
+	case "default-cluster":
+		n := 4
+		if len(os.Args) > 2 {
+			v, err := strconv.Atoi(os.Args[2])
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad machine count %q", os.Args[2]))
+			}
+			n = v
+		}
+		c, err := model.DefaultCluster("room", n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dotlang.PrintCluster(c))
+	case "check", "print", "graphviz":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		src, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		f, err := dotlang.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		switch os.Args[1] {
+		case "check":
+			fmt.Printf("ok: %d machine(s)", len(f.Machines))
+			if f.Cluster != nil {
+				fmt.Printf(", cluster %q with %d room edges", f.Cluster.Name, len(f.Cluster.Edges))
+			}
+			fmt.Println()
+		case "print":
+			if f.Cluster != nil {
+				fmt.Print(dotlang.PrintCluster(f.Cluster))
+			} else {
+				for _, m := range f.Machines {
+					fmt.Print(dotlang.PrintMachine(m))
+				}
+			}
+		case "graphviz":
+			for _, m := range f.Machines {
+				fmt.Print(dotlang.Graphviz(m))
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mercury-dot check|print|graphviz <file> | default | default-cluster [n]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mercury-dot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command mercury-exp regenerates the paper's evaluation: every table
+// and figure of Sections 3 and 5 can be reproduced on a terminal.
+//
+//	mercury-exp list
+//	mercury-exp fig11
+//	mercury-exp all
+//	mercury-exp -csv fluent
+//	mercury-exp -json fig12   # machine-readable metrics
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/darklab/mercury/internal/experiments"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of rendered text")
+	jsonOut := flag.Bool("json", false, "emit name, summary and metrics as JSON")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+	}
+	arg := flag.Arg(0)
+	switch arg {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Description)
+		}
+	case "all":
+		for _, e := range experiments.All() {
+			res, err := e.Run()
+			if err != nil {
+				fatal(err)
+			}
+			emit(res, *csv, *jsonOut)
+		}
+	default:
+		res, err := experiments.Run(arg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res, *csv, *jsonOut)
+	}
+}
+
+func emit(res *experiments.Result, csv, jsonOut bool) {
+	switch {
+	case jsonOut:
+		out := struct {
+			Name    string             `json:"name"`
+			Summary string             `json:"summary"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{res.Name, res.Summary, res.Metrics}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	case csv:
+		fmt.Printf("# %s\n", res.Name)
+		for _, t := range res.Tables {
+			fmt.Print(t.CSV())
+		}
+	default:
+		fmt.Println(res.Render())
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mercury-exp [-csv] <experiment>|list|all")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mercury-exp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,200 @@
+// Command mercury-solver runs the Mercury solver, either on-line (a
+// UDP daemon serving sensor reads, accepting monitord utilization
+// updates and fiddle operations, advancing in real time) or off-line
+// (replaying a utilization trace to a temperature log, Section 2.3's
+// trace mode).
+//
+// On-line, with the built-in 4-machine Table 1 room:
+//
+//	mercury-solver -machines 4 -listen 127.0.0.1:8367
+//
+// On-line with a model description:
+//
+//	mercury-solver -model room.mdot -listen 127.0.0.1:8367
+//
+// Off-line:
+//
+//	mercury-solver -model server.mdot -trace utils.trace \
+//	    -probe server/cpu -probe server/disk_platters -out temps.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/darklab/mercury/internal/dotlang"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/solverd"
+	"github.com/darklab/mercury/internal/trace"
+)
+
+type probeList []trace.Probe
+
+func (p *probeList) String() string {
+	var parts []string
+	for _, pr := range *p {
+		parts = append(parts, pr.Machine+"/"+pr.Node)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *probeList) Set(v string) error {
+	machine, node, ok := strings.Cut(v, "/")
+	if !ok || machine == "" || node == "" {
+		return fmt.Errorf("probe must be machine/node, got %q", v)
+	}
+	*p = append(*p, trace.Probe{Machine: machine, Node: node})
+	return nil
+}
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model description file (modified dot); empty uses -machines default servers")
+		machines  = flag.Int("machines", 1, "number of default Table 1 servers when -model is not given")
+		listen    = flag.String("listen", "127.0.0.1:8367", "UDP address for on-line mode")
+		step      = flag.Duration("step", time.Second, "solver iteration step")
+		tracePath = flag.String("trace", "", "utilization trace: run off-line instead of serving UDP")
+		outPath   = flag.String("out", "", "temperature log output for off-line mode (default stdout)")
+		sample    = flag.Duration("sample", 10*time.Second, "off-line probe sampling interval")
+		loadState = flag.String("load-state", "", "solver state checkpoint to restore before starting")
+		saveState = flag.String("save-state", "", "write a state checkpoint here on SIGINT/SIGTERM (on-line mode)")
+		probes    probeList
+	)
+	flag.Var(&probes, "probe", "machine/node to record off-line (repeatable)")
+	flag.Parse()
+
+	if err := run(*modelPath, *machines, *listen, *step, *tracePath, *outPath, *sample, *loadState, *saveState, probes); err != nil {
+		fmt.Fprintln(os.Stderr, "mercury-solver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath string, machines int, listen string, step time.Duration,
+	tracePath, outPath string, sample time.Duration, loadState, saveState string, probes probeList) error {
+
+	cluster, err := loadCluster(modelPath, machines)
+	if err != nil {
+		return err
+	}
+	sol, err := solver.New(cluster, solver.Config{Step: step})
+	if err != nil {
+		return err
+	}
+	if loadState != "" {
+		f, err := os.Open(loadState)
+		if err != nil {
+			return err
+		}
+		st, err := solver.ReadState(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := sol.RestoreState(st); err != nil {
+			return err
+		}
+		fmt.Printf("mercury-solver: restored state at emulated t=%v\n", sol.Now())
+	}
+
+	if tracePath != "" {
+		return runOffline(sol, tracePath, outPath, sample, probes)
+	}
+
+	srv, err := solverd.Listen(listen, sol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v)\n",
+		len(sol.Machines()), srv.Addr(), step)
+	if saveState != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			f, err := os.Create(saveState)
+			if err == nil {
+				if err := solver.WriteState(f, sol.SaveState()); err == nil {
+					fmt.Printf("mercury-solver: state saved to %s (emulated t=%v)\n", saveState, sol.Now())
+				}
+				f.Close()
+			}
+			srv.Close()
+		}()
+	}
+	srv.StartTicker()
+	return srv.Serve()
+}
+
+func loadCluster(modelPath string, machines int) (*model.Cluster, error) {
+	if modelPath == "" {
+		return model.DefaultCluster("room", machines)
+	}
+	src, err := os.ReadFile(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := dotlang.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if f.Cluster != nil {
+		return f.Cluster, nil
+	}
+	if len(f.Machines) == 1 {
+		m := f.Machines[0]
+		return &model.Cluster{
+			Name:     m.Name + "-room",
+			Machines: f.Machines,
+			Sources:  []model.ClusterSource{{Name: "room", SupplyTemp: m.InletTemp}},
+			Sinks:    []model.ClusterSink{{Name: "room_exhaust"}},
+			Edges: []model.ClusterEdge{
+				{From: "room", To: m.Name, Fraction: 1},
+				{From: m.Name, To: "room_exhaust", Fraction: 1},
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("model %s has %d machines but no cluster block", modelPath, len(f.Machines))
+}
+
+func runOffline(sol *solver.Solver, tracePath, outPath string, sample time.Duration, probes probeList) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	if len(probes) == 0 {
+		// Default: record every node of every machine.
+		for _, m := range sol.Machines() {
+			nodes, err := sol.Nodes(m)
+			if err != nil {
+				return err
+			}
+			for _, n := range nodes {
+				probes = append(probes, trace.Probe{Machine: m, Node: n})
+			}
+		}
+	}
+	log, err := trace.Replay(sol, tr, probes, sample)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outPath != "" {
+		out, err = os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+	}
+	return log.Write(out)
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/dotlang"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/trace"
+)
+
+func TestProbeListFlag(t *testing.T) {
+	var p probeList
+	if err := p.Set("machine1/cpu"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("machine2/disk_platters"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "machine1/cpu,machine2/disk_platters" {
+		t.Errorf("String = %q", got)
+	}
+	for _, bad := range []string{"", "machine1", "/cpu", "machine1/"} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("Set(%q): want error", bad)
+		}
+	}
+}
+
+func TestLoadClusterDefaults(t *testing.T) {
+	c, err := loadCluster("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Machines) != 3 {
+		t.Errorf("machines = %d", len(c.Machines))
+	}
+}
+
+func TestLoadClusterFromSingleMachineFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "server.mdot")
+	src := dotlang.PrintMachine(model.DefaultServer("box"))
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCluster(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Machines) != 1 || c.Machines[0].Name != "box" {
+		t.Errorf("cluster = %+v", c.Machines)
+	}
+	// The wrapper room must compile.
+	if _, err := solver.New(c, solver.Config{}); err != nil {
+		t.Errorf("wrapped cluster does not compile: %v", err)
+	}
+}
+
+func TestLoadClusterFromClusterFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "room.mdot")
+	room, err := model.DefaultCluster("room", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(dotlang.PrintCluster(room)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCluster(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Machines) != 2 {
+		t.Errorf("machines = %d", len(c.Machines))
+	}
+}
+
+func TestLoadClusterErrors(t *testing.T) {
+	if _, err := loadCluster("/does/not/exist.mdot", 0); err == nil {
+		t.Error("missing file: want error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.mdot")
+	os.WriteFile(bad, []byte("machine m {"), 0o644)
+	if _, err := loadCluster(bad, 0); err == nil {
+		t.Error("syntax error: want error")
+	}
+	// Two machines, no cluster block.
+	two := filepath.Join(dir, "two.mdot")
+	src := dotlang.PrintMachine(model.DefaultServer("a")) + "\nmachine b clone a;\n"
+	os.WriteFile(two, []byte(src), 0o644)
+	if _, err := loadCluster(two, 0); err == nil {
+		t.Error("ambiguous multi-machine file: want error")
+	}
+}
+
+func TestRunOfflineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "utils.trace")
+	outPath := filepath.Join(dir, "temps.log")
+	if err := os.WriteFile(tracePath, []byte("0 machine1 cpu 1.0\n600 machine1 cpu 1.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run("", 1, "", time.Second, tracePath, outPath, 60*time.Second, "", "",
+		probeList{{Machine: "machine1", Node: model.NodeCPU}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := trace.ReadTempLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != 11 {
+		t.Errorf("log records = %d, want 11", len(log.Records))
+	}
+	if last := log.Records[len(log.Records)-1]; float64(last.Temp) < 40 {
+		t.Errorf("final temp = %v, want heated", last.Temp)
+	}
+}
+
+func TestRunOfflineDefaultProbes(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "utils.trace")
+	os.WriteFile(tracePath, []byte("0 machine1 cpu 0.5\n60 machine1 cpu 0.5\n"), 0o644)
+	outPath := filepath.Join(dir, "temps.log")
+	if err := run("", 1, "", time.Second, tracePath, outPath, 30*time.Second, "", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 14 nodes recorded at 3 samples each.
+	if got := strings.Count(string(data), "machine1 "); got != 42 {
+		t.Errorf("record count = %d, want 42", got)
+	}
+}
+
+func TestRunRestoresState(t *testing.T) {
+	// Build a state file from a warmed-up solver, then start an
+	// offline run that loads it: the log must begin hot.
+	dir := t.TempDir()
+	// Use the same topology run() will build (-machines 1).
+	room, err := loadCluster("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solver.New(room, solver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol.SetUtilization("machine1", model.UtilCPU, 1)
+	sol.Run(2 * time.Hour)
+	statePath := filepath.Join(dir, "state.json")
+	f, err := os.Create(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.WriteState(f, sol.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tracePath := filepath.Join(dir, "utils.trace")
+	os.WriteFile(tracePath, []byte("0 machine1 cpu 1.0\n60 machine1 cpu 1.0\n"), 0o644)
+	outPath := filepath.Join(dir, "temps.log")
+	err = run("", 1, "", time.Second, tracePath, outPath, 60*time.Second, statePath, "",
+		probeList{{Machine: "machine1", Node: model.NodeCPU}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	log, err := trace.ReadTempLog(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := log.Records[0]; float64(first.Temp) < 60 {
+		t.Errorf("restored run starts at %v, want hot", first.Temp)
+	}
+}

@@ -1,0 +1,78 @@
+// Command monitord is Mercury's monitoring daemon: it samples this
+// machine's CPU, disk, and network utilizations from /proc and reports
+// them to the solver daemon once per interval in 128-byte UDP
+// datagrams (Section 2.3).
+//
+//	monitord -machine machine1 -solver 10.0.0.5:8367
+//
+// A synthetic mode replaces /proc for tests and demos:
+//
+//	monitord -machine machine1 -solver 127.0.0.1:8367 -synthetic-cpu 0.7
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/monitord"
+	"github.com/darklab/mercury/internal/procfs"
+	"github.com/darklab/mercury/internal/units"
+)
+
+func main() {
+	var (
+		machine  = flag.String("machine", "", "machine name in the solver's model (required)")
+		solver   = flag.String("solver", "127.0.0.1:8367", "solver daemon UDP address")
+		interval = flag.Duration("interval", time.Second, "sampling interval")
+		procRoot = flag.String("proc", "/proc", "proc filesystem root")
+		disk     = flag.String("disk", "", "disk device to watch (default: auto-detect)")
+		nic      = flag.String("nic", "", "network interface to watch (default: none)")
+		nicCap   = flag.Float64("nic-capacity", 125e6, "NIC capacity in bytes/second")
+		synCPU   = flag.Float64("synthetic-cpu", -1, "fixed synthetic CPU utilization in [0,1] (disables /proc)")
+		synDisk  = flag.Float64("synthetic-disk", 0, "fixed synthetic disk utilization (with -synthetic-cpu)")
+	)
+	flag.Parse()
+	if *machine == "" {
+		fmt.Fprintln(os.Stderr, "monitord: -machine is required")
+		os.Exit(2)
+	}
+
+	var sampler procfs.Sampler
+	if *synCPU >= 0 {
+		syn := procfs.NewSynthetic(model.UtilCPU, model.UtilDisk)
+		syn.Set(model.UtilCPU, units.Fraction(*synCPU))
+		syn.Set(model.UtilDisk, units.Fraction(*synDisk))
+		sampler = syn
+	} else {
+		sampler = procfs.New(procfs.Config{
+			Root: *procRoot, Disk: *disk, NIC: *nic, NICCapacity: *nicCap,
+		})
+	}
+
+	d, err := monitord.New(monitord.Config{
+		Machine:    *machine,
+		Sampler:    sampler,
+		SolverAddr: *solver,
+		Interval:   *interval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monitord:", err)
+		os.Exit(1)
+	}
+	defer d.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("monitord: reporting %s to %s every %v\n", *machine, *solver, *interval)
+	if err := d.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "monitord:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("monitord: sent %d updates\n", d.Sent())
+}

@@ -1,0 +1,104 @@
+// CMP: the chip-multiprocessor extension (the paper's Section 7
+// future work) together with variable-speed fan control. A four-core
+// server runs a single hot thread; the per-core model exposes the hot
+// spot, an OS-style migration policy bounces the thread to the coolest
+// core, and the firmware fan controller reacts to the package
+// temperature underneath it all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mercury "github.com/darklab/mercury"
+)
+
+func main() {
+	const cores = 4
+	machine, err := mercury.CMPServer("box", cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := mercury.NewSolver(machine, mercury.SolverConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Firmware fan control on the package (chip) temperature.
+	fan, err := mercury.NewFanController("box", sol, sol, mercury.FanConfig{
+		Node: mercury.NodeChip,
+		Base: 38.6,
+		Levels: []mercury.FanLevel{
+			{Above: 40, Flow: 50},
+			{Above: 44, Flow: 65},
+		},
+		Hysteresis: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One CPU-bound thread, initially on core 0; three idle cores.
+	hot := 0
+	setThread := func(core int) {
+		for i := 0; i < cores; i++ {
+			u := mercury.Fraction(0)
+			if i == core {
+				u = 1
+			}
+			if err := sol.SetUtilization("box", mercury.CoreUtil(i), u); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	setThread(hot)
+
+	fmt.Println("time    core0   core1   core2   core3   chip    fan     thread")
+	const migrateThreshold = 2.5 // migrate when the hot core leads the coolest by this many C
+	migrations := 0
+	for sec := 0; sec <= 3600; sec++ {
+		sol.Step()
+		if sec%10 == 0 {
+			if err := fan.Tick(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// A heat-and-run style scheduler: once a minute, move the
+		// thread to the coolest core if the spread is large.
+		if sec%60 == 0 && sec > 0 {
+			coolest, coolestTemp := hot, 1e9
+			hotTemp := 0.0
+			for i := 0; i < cores; i++ {
+				temp, err := sol.Temperature("box", mercury.CoreNode(i))
+				if err != nil {
+					log.Fatal(err)
+				}
+				if float64(temp) < coolestTemp {
+					coolest, coolestTemp = i, float64(temp)
+				}
+				if i == hot {
+					hotTemp = float64(temp)
+				}
+			}
+			if coolest != hot && hotTemp-coolestTemp > migrateThreshold {
+				hot = coolest
+				setThread(hot)
+				migrations++
+			}
+		}
+		if sec%300 == 0 {
+			fmt.Printf("%-7v", time.Duration(sec)*time.Second)
+			for i := 0; i < cores; i++ {
+				temp, _ := sol.Temperature("box", mercury.CoreNode(i))
+				fmt.Printf(" %-7.1f", float64(temp))
+			}
+			chip, _ := sol.Temperature("box", mercury.NodeChip)
+			flow, _ := sol.FanFlow("box")
+			fmt.Printf(" %-7.1f %-7.1f core%d\n", float64(chip), float64(flow), hot)
+		}
+	}
+	fmt.Printf("\nheat-and-run made %d migrations; the fan made %d speed changes; "+
+		"no core ever reached the temperature a pinned thread hits (compare the first minutes)\n",
+		migrations, fan.Changes())
+}

@@ -1,0 +1,50 @@
+// Quickstart: build the paper's Table 1 validation server, load its
+// CPU, and watch the emulated temperatures evolve — the smallest
+// possible Mercury program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mercury "github.com/darklab/mercury"
+)
+
+func main() {
+	// The default machine is the Pentium III server of the paper's
+	// validation: CPU, disk (platters + shell), power supply and
+	// motherboard, connected by the Figure 1 heat- and air-flow graphs.
+	machine := mercury.DefaultServer("server")
+	sol, err := mercury.NewSolver(machine, mercury.SolverConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Report 70% CPU and 30% disk utilization, as monitord would.
+	if err := sol.SetUtilization("server", mercury.UtilCPU, 0.7); err != nil {
+		log.Fatal(err)
+	}
+	if err := sol.SetUtilization("server", mercury.UtilDisk, 0.3); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("time      cpu      cpu_air  disk     exhaust")
+	for i := 0; i <= 6; i++ {
+		cpu, _ := sol.Temperature("server", mercury.NodeCPU)
+		cpuAir, _ := sol.Temperature("server", mercury.NodeCPUAir)
+		disk, _ := sol.Temperature("server", mercury.NodeDiskPlatters)
+		exhaust, _ := sol.ExhaustTemperature("server")
+		fmt.Printf("%-9v %-8v %-8v %-8v %v\n", sol.Now(), cpu, cpuAir, disk, exhaust)
+		sol.Run(5 * time.Minute) // emulated minutes pass in microseconds
+	}
+
+	// Where will it end up? The analytic steady state answers without
+	// stepping through hours.
+	steady, err := sol.SteadyState("server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsteady state: cpu=%v cpu_air=%v disk=%v\n",
+		steady[mercury.NodeCPU], steady[mercury.NodeCPUAir], steady[mercury.NodeDiskPlatters])
+}

@@ -1,0 +1,3 @@
+module github.com/darklab/mercury
+
+go 1.22

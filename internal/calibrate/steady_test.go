@@ -1,0 +1,164 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"github.com/darklab/mercury/internal/cfd"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+func analogMachine(t *testing.T) *model.Machine {
+	t.Helper()
+	m, err := cfd.DefaultCase().MercuryAnalog("case2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSteadyStateRespectsPowers(t *testing.T) {
+	m := analogMachine(t)
+	low, err := SteadyState(m, map[string]units.Watts{"cpu": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := SteadyState(m, map[string]units.Watts{"cpu": 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high["cpu"] <= low["cpu"] {
+		t.Errorf("cpu at 31W (%v) not hotter than at 7W (%v)", high["cpu"], low["cpu"])
+	}
+	// Overriding the CPU leaves the (upstream, other-band) disk alone.
+	if d := math.Abs(float64(high["disk"] - low["disk"])); d > 1e-6 {
+		t.Errorf("disk moved %v when only CPU power changed", d)
+	}
+	// The original machine is untouched by the per-case overrides.
+	if m.Component("cpu").Power.Max() != 7 {
+		t.Errorf("SteadyState mutated its input machine")
+	}
+}
+
+func TestEvaluateSteady(t *testing.T) {
+	m := analogMachine(t)
+	truth, err := SteadyState(m, map[string]units.Watts{"cpu": 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []SteadyCase{{
+		Powers: map[string]units.Watts{"cpu": 19},
+		Want:   map[string]units.Celsius{"cpu": truth["cpu"], "disk": truth["disk"]},
+	}}
+	rmse, maxAbs, err := EvaluateSteady(m, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse != 0 || maxAbs != 0 {
+		t.Errorf("self-evaluation rmse=%v max=%v, want 0", rmse, maxAbs)
+	}
+	// A biased target shows up in both metrics.
+	cases[0].Want["cpu"] += 2
+	rmse, maxAbs, err = EvaluateSteady(m, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(maxAbs-2) > 1e-9 {
+		t.Errorf("maxAbs = %v, want 2", maxAbs)
+	}
+	if rmse <= 0 || rmse > 2 {
+		t.Errorf("rmse = %v", rmse)
+	}
+}
+
+func TestEvaluateSteadyErrors(t *testing.T) {
+	m := analogMachine(t)
+	if _, _, err := EvaluateSteady(m, []SteadyCase{{
+		Powers: map[string]units.Watts{"cpu": 19},
+		Want:   map[string]units.Celsius{"ghost": 30},
+	}}); err == nil {
+		t.Error("unknown target node: want error")
+	}
+	if _, _, err := EvaluateSteady(m, []SteadyCase{{Powers: map[string]units.Watts{"cpu": 19}}}); err == nil {
+		t.Error("no targets at all: want error")
+	}
+}
+
+func TestCalibrateSteadyRecoversK(t *testing.T) {
+	// Ground truth: the analog with known constants. Calibration from
+	// default k=1 must recover temperatures (k itself may be slightly
+	// off; temperatures are what we fit).
+	truthMachine := analogMachine(t)
+	if err := cfd.SetAnalogK(truthMachine, "cpu", 0.45); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfd.SetAnalogK(truthMachine, "disk", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfd.SetAnalogK(truthMachine, "ps", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	var cases []SteadyCase
+	for _, cp := range []units.Watts{7, 19, 31} {
+		powers := map[string]units.Watts{"cpu": cp, "disk": 11}
+		truth, err := SteadyState(truthMachine, powers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, SteadyCase{
+			Powers: powers,
+			Want: map[string]units.Celsius{
+				"cpu": truth["cpu"], "disk": truth["disk"], "ps": truth["ps"],
+			},
+		})
+	}
+	params := []Param{
+		AnalogParam("cpu", 0.1, 3),
+		AnalogParam("disk", 0.1, 3),
+		AnalogParam("ps", 0.1, 3),
+	}
+	fitted, res, err := CalibrateSteady(analogMachine(t), cases, params, Options{Rounds: 8, GridPoints: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAbs > 0.2 {
+		t.Errorf("fitted steady error = %v, want < 0.2C", res.MaxAbs)
+	}
+	for _, name := range []string{"k_cpu", "k_disk", "k_ps"} {
+		if _, ok := res.Params[name]; !ok {
+			t.Errorf("missing fitted %s", name)
+		}
+	}
+	if err := fitted.Validate(); err != nil {
+		t.Errorf("fitted machine invalid: %v", err)
+	}
+}
+
+func TestCalibrateSteadyValidation(t *testing.T) {
+	m := analogMachine(t)
+	cases := []SteadyCase{{
+		Powers: map[string]units.Watts{"cpu": 19},
+		Want:   map[string]units.Celsius{"cpu": 40},
+	}}
+	params := []Param{AnalogParam("cpu", 0.1, 3)}
+	if _, _, err := CalibrateSteady(m, nil, params, Options{}); err == nil {
+		t.Error("no cases: want error")
+	}
+	if _, _, err := CalibrateSteady(m, cases, nil, Options{}); err == nil {
+		t.Error("no params: want error")
+	}
+	bad := []Param{AnalogParam("cpu", 3, 3)}
+	if _, _, err := CalibrateSteady(m, cases, bad, Options{}); err == nil {
+		t.Error("empty range: want error")
+	}
+}
+
+func TestAnalogParamMissingEdge(t *testing.T) {
+	m := analogMachine(t)
+	p := AnalogParam("ghost", 0.1, 3)
+	if got := p.Get(m); got != 0 {
+		t.Errorf("Get on missing edge = %v", got)
+	}
+	p.Set(m, 1.5) // must be a no-op, not a panic
+}

@@ -1,0 +1,122 @@
+package cfd
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/thermo"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// density in kg/m^3 and specific heat for the solid materials, used to
+// give the Mercury analog realistic thermal masses (they only affect
+// how fast the analog settles, not its steady state).
+func (m Material) density() float64 {
+	switch m {
+	case Aluminum:
+		return 2700
+	case Steel:
+		return 7850
+	case FR4:
+		return 1850
+	default:
+		return units.AirDensity
+	}
+}
+
+func (m Material) specificHeat() units.JoulesPerKgK {
+	switch m {
+	case Aluminum:
+		return 896
+	case Steel:
+		return 490
+	case FR4:
+		return units.FR4SpecificHeat
+	default:
+		return units.AirSpecificHeat
+	}
+}
+
+// MercuryAnalog builds the coarse Mercury machine corresponding to the
+// 2-D case, the model the paper compared against Fluent: one component
+// node per block, one air zone per block, air zones chained in flow
+// order within the top and bottom halves of the chassis, and the inlet
+// split between the two bands by their open cross-sections. Heat
+// constants default to 1 W/K; callers either set them from ExtractK
+// (the paper's method) or fit them with package calibrate.
+func (c *Case) MercuryAnalog(name string) (*model.Machine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	blocks := append([]Block(nil), c.Blocks...)
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].X0 < blocks[j].X0 })
+
+	m := &model.Machine{
+		Name:      name,
+		InletTemp: c.InletTemp,
+		FanFlow:   c.MassFlow(),
+		AirNodes: []model.AirNode{
+			{Name: "inlet", Inlet: true},
+			{Name: "exhaust", Exhaust: true},
+		},
+	}
+	var bands [2][]Block // 0 = bottom, 1 = top
+	for _, b := range blocks {
+		cy := float64(b.Y0+b.Y1) / 2
+		if cy >= float64(c.H)/2 {
+			bands[1] = append(bands[1], b)
+		} else {
+			bands[0] = append(bands[0], b)
+		}
+	}
+	nonEmpty := 0
+	for _, band := range bands {
+		if len(band) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return nil, fmt.Errorf("cfd: case has no blocks")
+	}
+	share := units.Fraction(1.0 / float64(nonEmpty))
+	for _, band := range bands {
+		if len(band) == 0 {
+			continue
+		}
+		prev := "inlet"
+		prevFrac := share
+		for _, b := range band {
+			volume := float64((b.X1-b.X0)*(b.Y1-b.Y0)) * c.CellSize * c.CellSize * c.Depth
+			mass := units.Kilograms(volume * b.Mat.density())
+			zone := b.Name + "_air"
+			m.Components = append(m.Components, model.Component{
+				Name:         b.Name,
+				Mass:         mass,
+				SpecificHeat: b.Mat.specificHeat(),
+				Power:        thermo.Constant(b.Power),
+			})
+			m.AirNodes = append(m.AirNodes, model.AirNode{Name: zone})
+			m.HeatEdges = append(m.HeatEdges, model.HeatEdge{A: b.Name, B: zone, K: 1})
+			m.AirEdges = append(m.AirEdges, model.AirEdge{From: prev, To: zone, Fraction: prevFrac})
+			prev, prevFrac = zone, 1
+		}
+		m.AirEdges = append(m.AirEdges, model.AirEdge{From: prev, To: "exhaust", Fraction: 1})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SetAnalogK sets a block's heat constant on an analog machine.
+func SetAnalogK(m *model.Machine, block string, k units.WattsPerKelvin) error {
+	for i := range m.HeatEdges {
+		e := &m.HeatEdges[i]
+		if e.A == block && e.B == block+"_air" {
+			e.K = k
+			return nil
+		}
+	}
+	return fmt.Errorf("cfd: analog has no heat edge for block %q", block)
+}

@@ -1,0 +1,193 @@
+package dotlang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/thermo"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// Additional syntax-edge and round-trip coverage beyond the core
+// tests.
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []tokenKind{
+		tokEOF, tokIdent, tokNumber, tokLBrace, tokRBrace, tokLBracket,
+		tokRBracket, tokLParen, tokRParen, tokSemi, tokComma, tokEquals,
+		tokArrow, tokUndirect, tokColon,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown token" {
+			t.Errorf("kind %d has bad string %q", k, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if tokenKind(99).String() != "unknown token" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	bad := []string{
+		"machine m { x = - }",   // dangling minus before brace
+		"machine m -",           // minus at EOF
+		"machine m { a -/ b; }", // '/' not starting a comment
+		"machine m\x01{}",       // control character
+		"machine m { x = 1e; }", // exponent with no digits... lexes as 1e? ensure no panic
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: want error", src)
+		}
+	}
+}
+
+func TestRoundTripCMPServer(t *testing.T) {
+	orig, err := model.CMPServer("cmpbox", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := PrintMachine(orig)
+	parsed, err := ParseMachine(src)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, src)
+	}
+	if len(parsed.Components) != len(orig.Components) {
+		t.Errorf("components %d != %d", len(parsed.Components), len(orig.Components))
+	}
+	core := parsed.Component(model.CoreNode(0))
+	if core == nil || core.Util != model.CoreUtil(0) {
+		t.Errorf("core0 lost its utilization stream: %+v", core)
+	}
+}
+
+func TestRoundTripRackCluster(t *testing.T) {
+	orig, err := model.RackCluster("room", 2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := PrintCluster(orig)
+	parsed, err := ParseCluster(src)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(parsed.Machines) != 6 || len(parsed.Edges) != len(orig.Edges) {
+		t.Errorf("machines=%d edges=%d vs %d", len(parsed.Machines), len(parsed.Edges), len(orig.Edges))
+	}
+	if err := parsed.Validate(); err != nil {
+		t.Errorf("round-tripped rack cluster invalid: %v", err)
+	}
+}
+
+// oddPower is a PowerModel the printer has no syntax for; it must fall
+// back to the linear approximation through the endpoints.
+type oddPower struct{}
+
+func (oddPower) Power(u units.Fraction) units.Watts { return 10 + units.Watts(u)*units.Watts(u)*20 }
+func (oddPower) Base() units.Watts                  { return 10 }
+func (oddPower) Max() units.Watts                   { return 30 }
+
+func TestPrinterFallsBackForUnknownPowerModel(t *testing.T) {
+	m := model.DefaultServer("m")
+	m.Component(model.NodeCPU).Power = oddPower{}
+	src := PrintMachine(m)
+	if !strings.Contains(src, "linear(10, 30)") {
+		t.Errorf("fallback power syntax missing:\n%s", src)
+	}
+	if _, err := ParseMachine(src); err != nil {
+		t.Errorf("fallback output does not reparse: %v", err)
+	}
+}
+
+func TestParsePowerModelErrors(t *testing.T) {
+	base := `
+machine m {
+    inlet_temp = 20;
+    fan_flow = 38.6;
+    component cpu {
+        mass = 0.1;
+        specific_heat = 896;
+        power = %s;
+    }
+    air inlet { inlet; }
+    air exhaust { exhaust; }
+    inlet -> exhaust [fraction = 1.0];
+    cpu -- exhaust [k = 1];
+}
+`
+	bad := []string{
+		"linear(31, 7)",       // max < base rejected by thermo
+		"linear(7 31)",        // missing comma
+		"piecewise(0.5:10)",   // grid must span 0..1
+		"piecewise(0:1, 1 2)", // missing colon
+		"constant(40",         // missing paren
+		"linear 7, 31)",       // missing open paren
+	}
+	for _, p := range bad {
+		src := strings.Replace(base, "%s", p, 1)
+		if _, err := ParseMachine(src); err == nil {
+			t.Errorf("power %q: want error", p)
+		}
+	}
+}
+
+func TestParseClusterStatementErrors(t *testing.T) {
+	cases := []string{
+		// source without supply keyword
+		miniMachine + "cluster c { source s { temp = 20; } sink k; members mini; }",
+		// sink missing semicolon
+		miniMachine + "cluster c { source s { supply = 20; } sink k members mini; }",
+		// edge with bad operator
+		miniMachine + "cluster c { source s { supply = 20; } sink k; members mini; s -- mini [fraction=1]; }",
+		// statement that is not an identifier
+		miniMachine + "cluster c { 42; }",
+		// members with trailing comma garbage
+		miniMachine + "cluster c { source s { supply = 20; } sink k; members mini,; }",
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestExpectKeywordMismatch(t *testing.T) {
+	// "machine" block inside cluster source: supply keyword expected.
+	src := miniMachine + "cluster c { source s { heat = 20; } }"
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), `expected "supply"`) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPiecewiseRoundTripPreservesShape(t *testing.T) {
+	pw, err := thermo.NewPiecewise(
+		[]units.Fraction{0, 0.3, 0.7, 1},
+		[]units.Watts{5, 9, 20, 28},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.DefaultServer("m")
+	m.Component(model.NodeCPU).Power = pw
+	parsed, err := ParseMachine(PrintMachine(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := parsed.Component(model.NodeCPU).Power.(*thermo.Piecewise)
+	if !ok {
+		t.Fatalf("power type = %T", parsed.Component(model.NodeCPU).Power)
+	}
+	for _, u := range []units.Fraction{0, 0.15, 0.3, 0.5, 0.7, 0.9, 1} {
+		if got.Power(u) != pw.Power(u) {
+			t.Errorf("P(%v) = %v != %v", u, got.Power(u), pw.Power(u))
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package dotlang
+
+import (
+	"testing"
+
+	"github.com/darklab/mercury/internal/model"
+)
+
+// FuzzParse asserts the parser's contract on arbitrary input: it must
+// return a valid model or an error — never panic, and never return
+// structures that fail validation. Anything it accepts must survive a
+// print/reparse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(miniMachine)
+	f.Add(PrintMachine(model.DefaultServer("seed")))
+	f.Add("machine m { inlet_temp = 21.6; }")
+	f.Add("cluster c { source s { supply = 20; } }")
+	f.Add("machine m clone ghost;")
+	f.Add("/* unterminated")
+	f.Add("machine m { a -- b [k=1]; }")
+	f.Add("machine m { x -> y [fraction=0.5]; }")
+	f.Add("machine \x00 {}")
+	f.Add("machine m { component c { power = piecewise(0:1, 1:2); } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, m := range file.Machines {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("Parse returned invalid machine: %v", err)
+			}
+			if _, err := ParseMachine(PrintMachine(m)); err != nil {
+				t.Fatalf("printed form does not reparse: %v", err)
+			}
+		}
+		if file.Cluster != nil {
+			if err := file.Cluster.Validate(); err != nil {
+				t.Fatalf("Parse returned invalid cluster: %v", err)
+			}
+		}
+	})
+}

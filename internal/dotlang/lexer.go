@@ -1,0 +1,362 @@
+// Package dotlang implements Mercury's model-description language, a
+// modified version of graphviz dot (Section 2.3: "The user can specify
+// the input graphs to the solver using our modified version of the
+// language dot. Our modifications mainly involved changing its syntax
+// to allow the specification of air fractions, component masses,
+// etc.").
+//
+// A description contains machine blocks and optionally one cluster
+// block:
+//
+//	machine machine1 {
+//	    inlet_temp = 21.6;
+//	    fan_flow   = 38.6;
+//
+//	    component cpu {
+//	        mass          = 0.151;
+//	        specific_heat = 896;
+//	        power         = linear(7, 31);
+//	        util          = cpu;
+//	    }
+//	    air inlet   { inlet; }
+//	    air cpu_air;
+//	    air exhaust { exhaust; }
+//
+//	    cpu -- cpu_air  [k = 0.75];       // heat-flow edge (undirected)
+//	    inlet -> cpu_air [fraction = 1.0]; // air-flow edge (directed)
+//	}
+//
+//	machine machine2 clone machine1;       // trace/machine replication
+//
+//	cluster room {
+//	    source ac { supply = 21.6; }
+//	    sink cluster_exhaust;
+//	    members machine1, machine2;
+//	    ac -> machine1 [fraction = 0.5];
+//	    machine1 -> cluster_exhaust [fraction = 1.0];
+//	}
+//
+// Comments use //, /* */ or #. The Print functions serialize models
+// back to this syntax, so freely available graphviz-adjacent tooling
+// can visualize the graphs after minor mechanical substitution.
+package dotlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLBracket // [
+	tokRBracket // ]
+	tokLParen   // (
+	tokRParen   // )
+	tokSemi     // ;
+	tokComma    // ,
+	tokEquals   // =
+	tokArrow    // ->
+	tokUndirect // --
+	tokColon    // :
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokSemi:
+		return "';'"
+	case tokComma:
+		return "','"
+	case tokEquals:
+		return "'='"
+	case tokArrow:
+		return "'->'"
+	case tokUndirect:
+		return "'--'"
+	case tokColon:
+		return "':'"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer splits input into tokens, tracking line/column for errors.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// A SyntaxError reports a lexical or grammatical problem with its
+// position in the source.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("dotlang: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/':
+			if l.pos+1 >= len(l.src) {
+				return l.errorf("unexpected '/'")
+			}
+			switch l.src[l.pos+1] {
+			case '/':
+				for {
+					c, ok := l.peekByte()
+					if !ok || c == '\n' {
+						break
+					}
+					l.advance()
+				}
+			case '*':
+				l.advance()
+				l.advance()
+				closed := false
+				for l.pos < len(l.src) {
+					if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+						l.advance()
+						l.advance()
+						closed = true
+						break
+					}
+					l.advance()
+				}
+				if !closed {
+					return l.errorf("unterminated block comment")
+				}
+			default:
+				return l.errorf("unexpected '/'")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isNumberPart(c byte) bool {
+	return unicode.IsDigit(rune(c)) || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-'
+}
+
+// next returns the next token. Identifiers may contain '-' but the
+// lexer resolves the '--' edge operator greedily before identifiers
+// continue, so "a--b" lexes as ident, '--', ident.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	switch {
+	case c == '{':
+		l.advance()
+		return mk(tokLBrace, "{"), nil
+	case c == '}':
+		l.advance()
+		return mk(tokRBrace, "}"), nil
+	case c == '[':
+		l.advance()
+		return mk(tokLBracket, "["), nil
+	case c == ']':
+		l.advance()
+		return mk(tokRBracket, "]"), nil
+	case c == '(':
+		l.advance()
+		return mk(tokLParen, "("), nil
+	case c == ')':
+		l.advance()
+		return mk(tokRParen, ")"), nil
+	case c == ';':
+		l.advance()
+		return mk(tokSemi, ";"), nil
+	case c == ',':
+		l.advance()
+		return mk(tokComma, ","), nil
+	case c == '=':
+		l.advance()
+		return mk(tokEquals, "="), nil
+	case c == ':':
+		l.advance()
+		return mk(tokColon, ":"), nil
+	case c == '-':
+		l.advance()
+		c2, ok := l.peekByte()
+		if !ok {
+			return token{}, l.errorf("unexpected '-' at end of input")
+		}
+		switch c2 {
+		case '>':
+			l.advance()
+			return mk(tokArrow, "->"), nil
+		case '-':
+			l.advance()
+			return mk(tokUndirect, "--"), nil
+		default:
+			if unicode.IsDigit(rune(c2)) || c2 == '.' {
+				num, err := l.lexNumber("-")
+				if err != nil {
+					return token{}, err
+				}
+				return mk(tokNumber, num), nil
+			}
+			return token{}, l.errorf("unexpected '-'")
+		}
+	case unicode.IsDigit(rune(c)) || c == '.':
+		num, err := l.lexNumber("")
+		if err != nil {
+			return token{}, err
+		}
+		return mk(tokNumber, num), nil
+	case isIdentStart(c):
+		var b strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			// '--' is always the edge operator, never part of a name.
+			if c == '-' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == '-' || l.src[l.pos+1] == '>') {
+				break
+			}
+			b.WriteByte(l.advance())
+		}
+		return mk(tokIdent, b.String()), nil
+	default:
+		return token{}, l.errorf("unexpected character %q", string(rune(c)))
+	}
+}
+
+func (l *lexer) lexNumber(prefix string) (string, error) {
+	var b strings.Builder
+	b.WriteString(prefix)
+	sawDigit := false
+	for {
+		c, ok := l.peekByte()
+		if !ok || !isNumberPart(c) {
+			break
+		}
+		// Only consume +/- after an exponent marker.
+		if (c == '+' || c == '-') && b.Len() > 0 {
+			last := b.String()[b.Len()-1]
+			if last != 'e' && last != 'E' {
+				break
+			}
+		}
+		if unicode.IsDigit(rune(c)) {
+			sawDigit = true
+		}
+		b.WriteByte(l.advance())
+	}
+	if !sawDigit {
+		return "", l.errorf("malformed number %q", b.String())
+	}
+	return b.String(), nil
+}
+
+// lexAll tokenizes the whole input; used by the parser.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package dotlang
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/thermo"
+)
+
+// PrintMachine serializes a machine back to the model language. The
+// output parses back to an equivalent machine (round-trip property).
+func PrintMachine(m *model.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s {\n", m.Name)
+	fmt.Fprintf(&b, "    inlet_temp = %s;\n", num(float64(m.InletTemp)))
+	fmt.Fprintf(&b, "    fan_flow = %s;\n", num(float64(m.FanFlow)))
+	b.WriteString("\n")
+	for _, c := range m.Components {
+		fmt.Fprintf(&b, "    component %s {\n", c.Name)
+		fmt.Fprintf(&b, "        mass = %s;\n", num(float64(c.Mass)))
+		fmt.Fprintf(&b, "        specific_heat = %s;\n", num(float64(c.SpecificHeat)))
+		if c.Power != nil {
+			fmt.Fprintf(&b, "        power = %s;\n", powerModel(c.Power))
+		}
+		if c.Util != model.UtilNone {
+			fmt.Fprintf(&b, "        util = %s;\n", string(c.Util))
+		}
+		b.WriteString("    }\n")
+	}
+	b.WriteString("\n")
+	for _, a := range m.AirNodes {
+		switch {
+		case a.Inlet:
+			fmt.Fprintf(&b, "    air %s { inlet; }\n", a.Name)
+		case a.Exhaust:
+			fmt.Fprintf(&b, "    air %s { exhaust; }\n", a.Name)
+		default:
+			fmt.Fprintf(&b, "    air %s;\n", a.Name)
+		}
+	}
+	b.WriteString("\n")
+	for _, e := range m.HeatEdges {
+		fmt.Fprintf(&b, "    %s -- %s [k = %s];\n", e.A, e.B, num(float64(e.K)))
+	}
+	b.WriteString("\n")
+	for _, e := range m.AirEdges {
+		fmt.Fprintf(&b, "    %s -> %s [fraction = %s];\n", e.From, e.To, num(float64(e.Fraction)))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PrintCluster serializes a cluster and its machines.
+func PrintCluster(c *model.Cluster) string {
+	var b strings.Builder
+	var names []string
+	for _, m := range c.Machines {
+		b.WriteString(PrintMachine(m))
+		b.WriteString("\n")
+		names = append(names, m.Name)
+	}
+	fmt.Fprintf(&b, "cluster %s {\n", c.Name)
+	for _, s := range c.Sources {
+		fmt.Fprintf(&b, "    source %s { supply = %s; }\n", s.Name, num(float64(s.SupplyTemp)))
+	}
+	for _, s := range c.Sinks {
+		fmt.Fprintf(&b, "    sink %s;\n", s.Name)
+	}
+	fmt.Fprintf(&b, "    members %s;\n", strings.Join(names, ", "))
+	for _, e := range c.Edges {
+		fmt.Fprintf(&b, "    %s -> %s [fraction = %s];\n", e.From, e.To, num(float64(e.Fraction)))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Graphviz renders a machine's two graphs in plain graphviz dot for
+// visualization ("the language enables freely available programs to
+// draw the graphs"). Heat edges are solid and labeled with k; air
+// edges are directed, dashed, and labeled with their fraction.
+func Graphviz(m *model.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", m.Name)
+	b.WriteString("    rankdir=LR;\n")
+	for _, c := range m.Components {
+		fmt.Fprintf(&b, "    %s [shape=box];\n", c.Name)
+	}
+	for _, a := range m.AirNodes {
+		fmt.Fprintf(&b, "    %s [shape=ellipse, style=dotted];\n", a.Name)
+	}
+	for _, e := range m.HeatEdges {
+		fmt.Fprintf(&b, "    %s -> %s [dir=none, label=\"k=%s\"];\n", e.A, e.B, num(float64(e.K)))
+	}
+	for _, e := range m.AirEdges {
+		fmt.Fprintf(&b, "    %s -> %s [style=dashed, label=\"%s\"];\n", e.From, e.To, num(float64(e.Fraction)))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func powerModel(pm thermo.PowerModel) string {
+	switch v := pm.(type) {
+	case thermo.Linear:
+		return fmt.Sprintf("linear(%s, %s)", num(float64(v.PBase)), num(float64(v.PMax)))
+	case thermo.Constant:
+		return fmt.Sprintf("constant(%s)", num(float64(v)))
+	case *thermo.Piecewise:
+		us, ws := v.Breakpoints()
+		parts := make([]string, len(us))
+		for i := range us {
+			parts[i] = fmt.Sprintf("%s:%s", num(float64(us[i])), num(float64(ws[i])))
+		}
+		return fmt.Sprintf("piecewise(%s)", strings.Join(parts, ", "))
+	default:
+		// Fall back to a linear approximation through the endpoints.
+		return fmt.Sprintf("linear(%s, %s)", num(float64(pm.Base())), num(float64(pm.Max())))
+	}
+}
+
+// num formats a float compactly without losing precision.
+func num(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.10f", v), "0"), ".")
+}

@@ -1,0 +1,137 @@
+package dotlang
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/thermo"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// round4 keeps generated constants within the printer's precision so
+// a faithful round trip is exactly representable.
+func round4(v float64) float64 {
+	return float64(int64(v*1e4+0.5)) / 1e4
+}
+
+// randomMachine builds a random valid serial-chain machine: inlet ->
+// air_0 -> ... -> air_{n-1} -> exhaust, one component coupled to each
+// interior air node.
+func randomMachine(r *rand.Rand) *model.Machine {
+	n := 1 + r.Intn(4)
+	m := &model.Machine{
+		Name:      fmt.Sprintf("m%d", r.Intn(1000)),
+		InletTemp: units.Celsius(round4(15 + 15*r.Float64())),
+		FanFlow:   units.CubicFeetPerMinute(round4(10 + 90*r.Float64())),
+	}
+	m.AirNodes = append(m.AirNodes, model.AirNode{Name: "inlet", Inlet: true})
+	prev := "inlet"
+	for i := 0; i < n; i++ {
+		air := fmt.Sprintf("air_%d", i)
+		comp := fmt.Sprintf("part_%d", i)
+		m.AirNodes = append(m.AirNodes, model.AirNode{Name: air})
+		base := round4(1 + 10*r.Float64())
+		max := round4(base + 30*r.Float64())
+		var pm thermo.PowerModel
+		switch r.Intn(3) {
+		case 0:
+			pm = thermo.Linear{PBase: units.Watts(base), PMax: units.Watts(max)}
+		case 1:
+			pm = thermo.Constant(units.Watts(base))
+		default:
+			mid := round4((base + max) / 2 * 1.1)
+			if mid <= base {
+				mid = round4(base + 0.5)
+			}
+			pw, err := thermo.NewPiecewise(
+				[]units.Fraction{0, 0.5, 1},
+				[]units.Watts{units.Watts(base), units.Watts(mid), units.Watts(round4(max + 1))},
+			)
+			if err != nil {
+				pm = thermo.Linear{PBase: units.Watts(base), PMax: units.Watts(max)}
+			} else {
+				pm = pw
+			}
+		}
+		util := model.UtilNone
+		if r.Intn(2) == 0 {
+			util = model.UtilSource([]string{"cpu", "disk", "net"}[r.Intn(3)])
+		}
+		if _, isLinear := pm.(thermo.Linear); !isLinear {
+			util = model.UtilNone
+		}
+		m.Components = append(m.Components, model.Component{
+			Name:         comp,
+			Mass:         units.Kilograms(round4(0.05 + 2*r.Float64())),
+			SpecificHeat: units.JoulesPerKgK(round4(400 + 1000*r.Float64())),
+			Power:        pm,
+			Util:         util,
+		})
+		m.HeatEdges = append(m.HeatEdges, model.HeatEdge{
+			A: comp, B: air, K: units.WattsPerKelvin(round4(0.1 + 5*r.Float64())),
+		})
+		m.AirEdges = append(m.AirEdges, model.AirEdge{From: prev, To: air, Fraction: 1})
+		prev = air
+	}
+	m.AirNodes = append(m.AirNodes, model.AirNode{Name: "exhaust", Exhaust: true})
+	m.AirEdges = append(m.AirEdges, model.AirEdge{From: prev, To: "exhaust", Fraction: 1})
+	return m
+}
+
+func TestRandomMachineRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMachine(r)
+		if err := m.Validate(); err != nil {
+			t.Logf("generator produced invalid machine: %v", err)
+			return false
+		}
+		src := PrintMachine(m)
+		parsed, err := ParseMachine(src)
+		if err != nil {
+			t.Logf("reparse failed: %v\n%s", err, src)
+			return false
+		}
+		if !reflect.DeepEqual(m, parsed) {
+			t.Logf("round trip changed machine\n%s", src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomMachineGraphvizParses(t *testing.T) {
+	// Graphviz output is not round-trippable (different language) but
+	// must always be generated without panicking and mention every
+	// node.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		m := randomMachine(r)
+		g := Graphviz(m)
+		for _, c := range m.Components {
+			if !containsWord(g, c.Name) {
+				t.Fatalf("graphviz missing %q", c.Name)
+			}
+		}
+	}
+}
+
+func containsWord(s, w string) bool {
+	return len(w) > 0 && len(s) > 0 && (stringIndex(s, w) >= 0)
+}
+
+func stringIndex(s, w string) int {
+	for i := 0; i+len(w) <= len(s); i++ {
+		if s[i:i+len(w)] == w {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a registered, regenerable table or figure.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         func() (*Result, error)
+}
+
+// All returns every experiment in evaluation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: constants used in the validation and Freon studies", Table1},
+		{"fig5", "Figure 5: calibrating Mercury for CPU usage and temperature", Fig5},
+		{"fig6", "Figure 6: calibrating Mercury for disk usage and temperature", Fig6},
+		{"fig7", "Figure 7: real-system CPU air validation (combined benchmark, no recalibration)", Fig7},
+		{"fig8", "Figure 8: real-system disk validation", Fig8},
+		{"fluent", "Section 3.2: steady-state comparison against the 2-D CFD simulator (14 configurations)", Fluent},
+		{"latency", "Section 2.3: solver iteration and readsensor() microlatencies", Latency},
+		{"fig11", "Figure 11: Freon base policy under two inlet emergencies", Fig11},
+		{"trad", "Section 5.1: traditional turn-off-at-red-line baseline (paper: 14% requests dropped)", Traditional},
+		{"fig12", "Figure 12: Freon-EC combining energy conservation and thermal management", Fig12},
+		{"recirc", "Extension: top-of-rack hot spots from intra-rack air recirculation", Recirc},
+		{"multitier", "Extension: per-tier Freon managing a two-tier service under a backend emergency", MultiTier},
+	}
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by name.
+func Run(name string) (*Result, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e.Run()
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/sensor"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/solverd"
+	"github.com/darklab/mercury/internal/stats"
+)
+
+// Table1 renders the paper's Table 1: the constants used in the
+// validation and Freon studies, as encoded in the default server and
+// cluster models.
+func Table1() (*Result, error) {
+	m := model.DefaultServer("server")
+
+	comps := &stats.Table{
+		Title:   "Table 1: component properties",
+		Headers: []string{"component", "mass_kg", "specific_heat_J_per_kgK", "min_W", "max_W", "util_source"},
+	}
+	for _, c := range m.Components {
+		min, max := "-", "-"
+		if c.Power != nil {
+			min = fmt.Sprintf("%g", float64(c.Power.Base()))
+			max = fmt.Sprintf("%g", float64(c.Power.Max()))
+		}
+		comps.AddRow(c.Name, float64(c.Mass), float64(c.SpecificHeat), min, max, string(c.Util))
+	}
+	comps.AddRow("inlet temperature", float64(m.InletTemp), "-", "-", "-", "-")
+	comps.AddRow("fan speed (cfm)", float64(m.FanFlow), "-", "-", "-", "-")
+
+	heat := &stats.Table{
+		Title:   "Table 1: heat-flow constants",
+		Headers: []string{"from/to", "to/from", "k_W_per_K"},
+	}
+	for _, e := range m.HeatEdges {
+		heat.AddRow(e.A, e.B, float64(e.K))
+	}
+
+	air := &stats.Table{
+		Title:   "Table 1: intra-machine air fractions",
+		Headers: []string{"from", "to", "fraction"},
+	}
+	for _, e := range m.AirEdges {
+		air.AddRow(e.From, e.To, float64(e.Fraction))
+	}
+
+	c, err := model.DefaultCluster("room", 4)
+	if err != nil {
+		return nil, err
+	}
+	room := &stats.Table{
+		Title:   "Table 1: inter-machine air fractions",
+		Headers: []string{"from", "to", "fraction"},
+	}
+	for _, e := range c.Edges {
+		room.AddRow(e.From, e.To, float64(e.Fraction))
+	}
+
+	return &Result{
+		Name:    "table1",
+		Summary: "Constants used in the validation and Freon studies (the paper's Table 1), as built by model.DefaultServer and model.DefaultCluster.",
+		Tables:  []*stats.Table{comps, heat, air, room},
+		Metrics: map[string]float64{
+			"components": float64(len(m.Components)),
+			"heat_edges": float64(len(m.HeatEdges)),
+			"air_edges":  float64(len(m.AirEdges)),
+			"room_edges": float64(len(c.Edges)),
+			"inlet_temp": float64(m.InletTemp),
+			"fan_speed":  float64(m.FanFlow),
+		},
+	}, nil
+}
+
+// Latency regenerates Section 2.3's microlatencies: the solver's
+// per-iteration cost (the paper measured roughly 100 us per iteration
+// on 2006 hardware) and the sensor library's read round trip over
+// loopback UDP (the paper measured about 300 us, against 500 us for a
+// real SCSI in-disk sensor). Looping enough iterations for stable
+// averages, this is the quick-look variant of the Go benchmarks in
+// bench_test.go.
+func Latency() (*Result, error) {
+	cluster, err := model.DefaultCluster("room", 4)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := solver.New(cluster, solver.Config{})
+	if err != nil {
+		return nil, err
+	}
+	const iters = 20000
+	start := time.Now()
+	sol.StepN(iters)
+	perIter := time.Since(start) / iters
+
+	srv, err := solverd.Listen("127.0.0.1:0", sol)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+	sd, err := sensor.Open(addr, "machine1", model.NodeCPU)
+	if err != nil {
+		return nil, err
+	}
+	defer sd.Close()
+	const reads = 2000
+	start = time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := sd.Read(); err != nil {
+			return nil, err
+		}
+	}
+	perRead := time.Since(start) / reads
+
+	table := &stats.Table{
+		Title:   "Section 2.3 microlatencies",
+		Headers: []string{"operation", "measured", "paper"},
+	}
+	table.AddRow("solver iteration (4-machine room)", perIter.String(), "~100us")
+	table.AddRow("readsensor() over loopback UDP", perRead.String(), "~300us (real SCSI sensor: ~500us)")
+
+	return &Result{
+		Name: "latency",
+		Summary: fmt.Sprintf("Solver iteration: %v per step; sensor read: %v per UDP round trip.",
+			perIter, perRead),
+		Tables: []*stats.Table{table},
+		Metrics: map[string]float64{
+			"solver_iteration_us": float64(perIter.Nanoseconds()) / 1000,
+			"sensor_read_us":      float64(perRead.Nanoseconds()) / 1000,
+		},
+	}, nil
+}

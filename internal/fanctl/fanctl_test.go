@@ -1,0 +1,178 @@
+package fanctl
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// fakeMachine lets tests set the observed temperature directly and
+// records fan commands.
+type fakeMachine struct {
+	temp  units.Celsius
+	flows []units.CubicFeetPerMinute
+	fail  bool
+}
+
+func (f *fakeMachine) Temperature(machine, node string) (units.Celsius, error) {
+	if f.fail {
+		return 0, errors.New("sensor offline")
+	}
+	return f.temp, nil
+}
+
+func (f *fakeMachine) SetFanFlow(machine string, flow units.CubicFeetPerMinute) error {
+	f.flows = append(f.flows, flow)
+	return nil
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Base: 38.6, Levels: []Level{{60, 55}}},                              // no node
+		{Node: "cpu", Levels: []Level{{60, 55}}},                             // no base
+		{Node: "cpu", Base: 38.6},                                            // no levels
+		{Node: "cpu", Base: 38.6, Levels: []Level{{60, 55}}, Hysteresis: -1}, // bad hysteresis
+		{Node: "cpu", Base: 38.6, Levels: []Level{{60, 55}, {60, 70}}},       // dup threshold
+		{Node: "cpu", Base: 38.6, Levels: []Level{{60, 30}}},                 // flow below base
+		{Node: "cpu", Base: 38.6, Levels: []Level{{60, 55}, {70, 50}}},       // non-increasing flow
+	}
+	for i, cfg := range bad {
+		if cfg.Hysteresis == 0 {
+			cfg.Hysteresis = 2
+		}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestStepUpAndDownWithHysteresis(t *testing.T) {
+	fm := &fakeMachine{temp: 40}
+	c, err := New("m1", fm, fm, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial actuation at base.
+	if len(fm.flows) != 1 || fm.flows[0] != 38.6 {
+		t.Fatalf("initial flows = %v", fm.flows)
+	}
+	// Cool: stays at base.
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if lvl, flow := c.Level(); lvl != -1 || flow != 38.6 {
+		t.Errorf("level = %d/%v", lvl, flow)
+	}
+
+	// Crosses first threshold.
+	fm.temp = 61
+	c.Tick()
+	if lvl, flow := c.Level(); lvl != 0 || flow != 55 {
+		t.Errorf("after 61C level = %d/%v, want 0/55", lvl, flow)
+	}
+	// Just inside hysteresis band (60-2=58): no step down.
+	fm.temp = 59
+	c.Tick()
+	if lvl, _ := c.Level(); lvl != 0 {
+		t.Errorf("hysteresis violated: level = %d", lvl)
+	}
+	// Below the band: back to base.
+	fm.temp = 57
+	c.Tick()
+	if lvl, flow := c.Level(); lvl != -1 || flow != 38.6 {
+		t.Errorf("after cooling level = %d/%v", lvl, flow)
+	}
+	// Jump straight to the top level.
+	fm.temp = 70
+	c.Tick()
+	if lvl, flow := c.Level(); lvl != 1 || flow != 75 {
+		t.Errorf("hot level = %d/%v, want 1/75", lvl, flow)
+	}
+	// Drop far: all the way back down in one tick.
+	fm.temp = 30
+	c.Tick()
+	if lvl, _ := c.Level(); lvl != -1 {
+		t.Errorf("cold level = %d", lvl)
+	}
+	if c.Changes() != 4 {
+		t.Errorf("changes = %d, want 4", c.Changes())
+	}
+}
+
+func TestNoHuntingAtBoundary(t *testing.T) {
+	fm := &fakeMachine{temp: 40}
+	c, _ := New("m1", fm, fm, DefaultConfig())
+	// Oscillate right around the threshold inside the hysteresis band:
+	// exactly one change should happen.
+	before := c.Changes()
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			fm.temp = 60.5
+		} else {
+			fm.temp = 59.5
+		}
+		c.Tick()
+	}
+	if c.Changes()-before != 1 {
+		t.Errorf("changes = %d, want 1 (no hunting)", c.Changes()-before)
+	}
+}
+
+func TestSensorErrorPropagates(t *testing.T) {
+	fm := &fakeMachine{temp: 40}
+	c, _ := New("m1", fm, fm, DefaultConfig())
+	fm.fail = true
+	if err := c.Tick(); err == nil {
+		t.Error("sensor failure: want error")
+	}
+}
+
+func TestAgainstSolverCoolsHotCPU(t *testing.T) {
+	// End to end: a fan controller on the real solver keeps a loaded
+	// CPU measurably cooler than a fixed fan.
+	steady := func(withController bool) float64 {
+		s, err := solver.NewSingle(model.DefaultServer("m1"), solver.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetUtilization("m1", model.UtilCPU, 1)
+		var c *Controller
+		if withController {
+			c, err = New("m1", s, s, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4*3600; i++ {
+			s.Step()
+			if c != nil && i%10 == 0 {
+				if err := c.Tick(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		temp, err := s.Temperature("m1", model.NodeCPU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(temp)
+	}
+	fixed := steady(false)
+	controlled := steady(true)
+	if controlled >= fixed-1 {
+		t.Errorf("fan control did not help: fixed=%v controlled=%v", fixed, controlled)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	fm := &fakeMachine{}
+	if _, err := New("m1", fm, fm, Config{}); err == nil {
+		t.Error("zero config: want error")
+	}
+}

@@ -1,0 +1,208 @@
+package fiddle
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/darklab/mercury/internal/wire"
+)
+
+// Action is one step of a fiddle script: either a pause or an
+// operation.
+type Action struct {
+	// Sleep pauses the script when positive.
+	Sleep time.Duration
+	// Op is the operation to apply when Sleep is zero.
+	Op *wire.FiddleOp
+}
+
+// Script is a parsed fiddle script, e.g. (Figure 4 of the paper):
+//
+//	#!/bin/bash
+//	sleep 100
+//	fiddle machine1 temperature inlet 30
+//	sleep 200
+//	fiddle machine1 temperature inlet 21.6
+type Script struct {
+	Actions []Action
+}
+
+// TimedOp is an operation with its offset from script start; see
+// Schedule.
+type TimedOp struct {
+	At time.Duration
+	Op *wire.FiddleOp
+}
+
+// ParseScript parses a fiddle script. Blank lines, '#' comments and a
+// shebang line are ignored.
+func ParseScript(src string) (*Script, error) {
+	s := &Script{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "sleep":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fiddle: line %d: sleep takes one argument", i+1)
+			}
+			secs, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || secs < 0 {
+				return nil, fmt.Errorf("fiddle: line %d: bad sleep duration %q", i+1, fields[1])
+			}
+			s.Actions = append(s.Actions, Action{Sleep: time.Duration(secs * float64(time.Second))})
+		case "fiddle":
+			op, err := ParseCommand(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("fiddle: line %d: %w", i+1, err)
+			}
+			s.Actions = append(s.Actions, Action{Op: op})
+		default:
+			return nil, fmt.Errorf("fiddle: line %d: unknown command %q", i+1, fields[0])
+		}
+	}
+	return s, nil
+}
+
+// ParseCommand parses the arguments of one fiddle invocation (without
+// the leading "fiddle"). Accepted forms:
+//
+//	<machine> temperature inlet <C>        pin the inlet
+//	<machine> temperature inlet auto       release the inlet pin
+//	<machine> temperature <node> <C>       force a node temperature
+//	source <name> temperature <C>          set an AC supply temperature
+//	<machine> heatk <a> <b> <k>            change a heat constant
+//	<machine> airfraction <from> <to> <f>  change an air split
+//	<machine> fanflow <cfm>                change fan throughput
+//	<machine> powerscale <component> <s>   throttle a component
+//	<machine> power on|off                 power a machine up/down
+func ParseCommand(args []string) (*wire.FiddleOp, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("too few arguments")
+	}
+	if args[0] == "source" {
+		if len(args) != 4 || args[2] != "temperature" {
+			return nil, fmt.Errorf("usage: source <name> temperature <C>")
+		}
+		t, err := parseFloat(args[3])
+		if err != nil {
+			return nil, err
+		}
+		return &wire.FiddleOp{Op: wire.OpSetSourceTemp, Strings: []string{args[1]}, Floats: []float64{t}}, nil
+	}
+	machine := args[0]
+	switch args[1] {
+	case "temperature":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("usage: <machine> temperature <node> <C|auto>")
+		}
+		node, val := args[2], args[3]
+		if node == "inlet" {
+			if val == "auto" {
+				return &wire.FiddleOp{Op: wire.OpUnpinInlet, Strings: []string{machine}}, nil
+			}
+			t, err := parseFloat(val)
+			if err != nil {
+				return nil, err
+			}
+			return &wire.FiddleOp{Op: wire.OpPinInlet, Strings: []string{machine}, Floats: []float64{t}}, nil
+		}
+		t, err := parseFloat(val)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.FiddleOp{Op: wire.OpSetNodeTemp, Strings: []string{machine, node}, Floats: []float64{t}}, nil
+	case "heatk":
+		if len(args) != 5 {
+			return nil, fmt.Errorf("usage: <machine> heatk <a> <b> <k>")
+		}
+		k, err := parseFloat(args[4])
+		if err != nil {
+			return nil, err
+		}
+		return &wire.FiddleOp{Op: wire.OpSetHeatK, Strings: []string{machine, args[2], args[3]}, Floats: []float64{k}}, nil
+	case "airfraction":
+		if len(args) != 5 {
+			return nil, fmt.Errorf("usage: <machine> airfraction <from> <to> <fraction>")
+		}
+		f, err := parseFloat(args[4])
+		if err != nil {
+			return nil, err
+		}
+		return &wire.FiddleOp{Op: wire.OpSetAirFraction, Strings: []string{machine, args[2], args[3]}, Floats: []float64{f}}, nil
+	case "fanflow":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("usage: <machine> fanflow <cfm>")
+		}
+		f, err := parseFloat(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return &wire.FiddleOp{Op: wire.OpSetFanFlow, Strings: []string{machine}, Floats: []float64{f}}, nil
+	case "powerscale":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("usage: <machine> powerscale <component> <scale>")
+		}
+		sc, err := parseFloat(args[3])
+		if err != nil {
+			return nil, err
+		}
+		return &wire.FiddleOp{Op: wire.OpSetPowerScale, Strings: []string{machine, args[2]}, Floats: []float64{sc}}, nil
+	case "power":
+		if len(args) != 3 || (args[2] != "on" && args[2] != "off") {
+			return nil, fmt.Errorf("usage: <machine> power on|off")
+		}
+		v := 0.0
+		if args[2] == "on" {
+			v = 1
+		}
+		return &wire.FiddleOp{Op: wire.OpSetMachinePower, Strings: []string{machine}, Floats: []float64{v}}, nil
+	default:
+		return nil, fmt.Errorf("unknown fiddle verb %q", args[1])
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// Schedule flattens the script into operations stamped with their
+// offset from script start. Experiment harnesses use this to interleave
+// fiddle actions with emulated time instead of wall-clock sleeps.
+func (s *Script) Schedule() []TimedOp {
+	var out []TimedOp
+	var at time.Duration
+	for _, a := range s.Actions {
+		if a.Op == nil {
+			at += a.Sleep
+			continue
+		}
+		out = append(out, TimedOp{At: at, Op: a.Op})
+	}
+	return out
+}
+
+// Run executes the script against an applier, pausing with sleep.
+// Passing time.Sleep reproduces the paper's wall-clock scripts; tests
+// pass a virtual sleeper.
+func (s *Script) Run(a Applier, sleep func(time.Duration)) error {
+	for _, act := range s.Actions {
+		if act.Op == nil {
+			sleep(act.Sleep)
+			continue
+		}
+		if err := a.Apply(act.Op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

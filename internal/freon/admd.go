@@ -1,0 +1,220 @@
+package freon
+
+import (
+	"fmt"
+)
+
+// connTracker maintains the rolling average of a server's concurrent
+// connections: "admd wakes up periodically (every five seconds ...)
+// and queries LVS about this statistic".
+type connTracker struct {
+	sum     int
+	samples int
+	lastAvg float64
+}
+
+func (c *connTracker) observe(conns int) {
+	c.sum += conns
+	c.samples++
+}
+
+// rollover closes the observation interval and returns the average.
+func (c *connTracker) rollover() float64 {
+	if c.samples > 0 {
+		c.lastAvg = float64(c.sum) / float64(c.samples)
+	}
+	c.sum, c.samples = 0, 0
+	return c.lastAvg
+}
+
+// Admd is the admission-control daemon at the load-balancer node. On a
+// hot report it sets the server's weight so it receives
+// 1/(output + 1) of the load it currently receives, and caps its
+// concurrent connections at the last interval's average; on a cool
+// report it removes both restrictions.
+type Admd struct {
+	bal      Balancer
+	nominal  float64 // weight a server returns to when unrestricted
+	conns    map[string]*connTracker
+	limited  map[string]bool
+	adjusted map[string]int // count of adjustments per machine (stats)
+
+	// Two-stage (content-aware) policy state: shedClass maps a hot
+	// component node to the request class to block; blocked tracks
+	// which classes are currently blocked per machine.
+	shedClass map[string]string
+	blocked   map[string]map[string]bool
+}
+
+// NewAdmd builds an admission controller over a balancer. nominal is
+// the unrestricted server weight (1 for homogeneous clusters).
+func NewAdmd(bal Balancer, nominal float64) (*Admd, error) {
+	if nominal <= 0 {
+		return nil, fmt.Errorf("freon: nominal weight must be positive, got %v", nominal)
+	}
+	return &Admd{
+		bal:      bal,
+		nominal:  nominal,
+		conns:    map[string]*connTracker{},
+		limited:  map[string]bool{},
+		adjusted: map[string]int{},
+		blocked:  map[string]map[string]bool{},
+	}, nil
+}
+
+// EnableTwoStage switches the admission controller to the
+// content-aware policy: shedClass maps a component node to the request
+// class blocked on servers where that component runs hot. With it
+// enabled, the first hot report for a machine only blocks classes;
+// weights and caps engage if a later report is still hot.
+func (a *Admd) EnableTwoStage(shedClass map[string]string) {
+	a.shedClass = map[string]string{}
+	for node, class := range shedClass {
+		if class != "" {
+			a.shedClass[node] = class
+		}
+	}
+}
+
+// PollConns samples a server's peak concurrency since the last poll;
+// call every ConnPoll period for every server.
+func (a *Admd) PollConns(machine string) error {
+	n, err := a.bal.TakePeakConns(machine)
+	if err != nil {
+		return err
+	}
+	t, ok := a.conns[machine]
+	if !ok {
+		t = &connTracker{}
+		a.conns[machine] = t
+	}
+	t.observe(n)
+	return nil
+}
+
+// HandleReport applies one tempd report.
+func (a *Admd) HandleReport(r Report) error {
+	switch {
+	case r.Hot:
+		if a.shedClass != nil {
+			// Stage one: keep the hot components' heavy classes away.
+			if fresh, err := a.blockClasses(r.Machine, r.HotNodes); err != nil {
+				return err
+			} else if fresh {
+				return nil // give stage one a period to work
+			}
+		}
+		return a.restrict(r.Machine, r.Output)
+	case r.JustCool:
+		return a.Release(r.Machine)
+	default:
+		return nil
+	}
+}
+
+// blockClasses applies stage one for the hot nodes; it reports whether
+// any new class block was installed this period.
+func (a *Admd) blockClasses(machine string, hotNodes []string) (bool, error) {
+	fresh := false
+	for _, node := range hotNodes {
+		class, ok := a.shedClass[node]
+		if !ok {
+			continue
+		}
+		if a.blocked[machine][class] {
+			continue
+		}
+		if err := a.bal.SetClassBlocked(machine, class, true); err != nil {
+			return false, err
+		}
+		if a.blocked[machine] == nil {
+			a.blocked[machine] = map[string]bool{}
+		}
+		a.blocked[machine][class] = true
+		fresh = true
+	}
+	return fresh, nil
+}
+
+// BlockedClasses returns the classes currently blocked on a machine,
+// for observability.
+func (a *Admd) BlockedClasses(machine string) []string {
+	var out []string
+	for class, on := range a.blocked[machine] {
+		if on {
+			out = append(out, class)
+		}
+	}
+	return out
+}
+
+// restrict reduces the hot server's share to 1/(output+1) of its
+// current share and caps its connections at the recent average.
+func (a *Admd) restrict(machine string, output float64) error {
+	w, err := a.bal.Weight(machine)
+	if err != nil {
+		return err
+	}
+	total := a.bal.TotalWeight()
+	rest := total - w
+	if w <= 0 || rest <= 0 {
+		// Already excluded, or it is the only server: weights cannot
+		// shift load anywhere. Fall through to the connection cap.
+	} else {
+		share := w / total
+		target := share / (output + 1)
+		// Solve w' / (w' + rest) = target.
+		newW := target * rest / (1 - target)
+		if err := a.bal.SetWeight(machine, newW); err != nil {
+			return err
+		}
+	}
+
+	t, ok := a.conns[machine]
+	if !ok {
+		t = &connTracker{}
+		a.conns[machine] = t
+	}
+	avg := t.rollover()
+	limit := int(avg)
+	if limit < 1 {
+		limit = 1 // a zero cap would mean "unlimited" to LVS
+	}
+	if err := a.bal.SetConnLimit(machine, limit); err != nil {
+		return err
+	}
+	a.limited[machine] = true
+	a.adjusted[machine]++
+	return nil
+}
+
+// Release removes a server's restrictions ("eliminate any restrictions
+// on the offered load to the server"), including stage-one class
+// blocks.
+func (a *Admd) Release(machine string) error {
+	if err := a.bal.SetWeight(machine, a.nominal); err != nil {
+		return err
+	}
+	if err := a.bal.SetConnLimit(machine, 0); err != nil {
+		return err
+	}
+	for class, on := range a.blocked[machine] {
+		if !on {
+			continue
+		}
+		if err := a.bal.SetClassBlocked(machine, class, false); err != nil {
+			return err
+		}
+		a.blocked[machine][class] = false
+	}
+	a.limited[machine] = false
+	return nil
+}
+
+// Limited reports whether the machine currently has restrictions.
+func (a *Admd) Limited(machine string) bool { return a.limited[machine] }
+
+// Adjustments returns how many load-distribution adjustments a machine
+// has received (Section 5.1 reports "only one adjustment was
+// necessary").
+func (a *Admd) Adjustments(machine string) int { return a.adjusted[machine] }

@@ -1,0 +1,220 @@
+package freon
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Freon is the base thermal-emergency manager: one tempd per server
+// plus the admission controller. Drive it with TickPoll every ConnPoll
+// period and TickPeriod every Period; experiment harnesses call these
+// from emulated time, the freon command from wall-clock tickers.
+type Freon struct {
+	cfg     Config
+	tempds  map[string]*Tempd
+	order   []string
+	admd    *Admd
+	power   Power
+	offline map[string]bool
+	reports map[string]Report
+}
+
+// New builds the base Freon over the given machines.
+func New(machines []string, sensors Sensors, bal Balancer, power Power, cfg Config) (*Freon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("freon: no machines")
+	}
+	cfg = cfg.withDefaults()
+	admd, err := NewAdmd(bal, 1)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TwoStage {
+		shed := map[string]string{}
+		for _, comp := range cfg.Components {
+			shed[comp.Node] = comp.ShedClass
+		}
+		admd.EnableTwoStage(shed)
+	}
+	f := &Freon{
+		cfg:     cfg,
+		tempds:  map[string]*Tempd{},
+		admd:    admd,
+		power:   power,
+		offline: map[string]bool{},
+		reports: map[string]Report{},
+	}
+	for _, m := range machines {
+		td, err := NewTempd(m, sensors, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.tempds[m] = td
+		f.order = append(f.order, m)
+	}
+	return f, nil
+}
+
+// Config returns the effective configuration.
+func (f *Freon) Config() Config { return f.cfg }
+
+// Admd exposes the admission controller (for statistics).
+func (f *Freon) Admd() *Admd { return f.admd }
+
+// TickPoll samples LVS connection statistics for every online server.
+func (f *Freon) TickPoll() error {
+	for _, m := range f.order {
+		if f.offline[m] {
+			continue
+		}
+		if err := f.admd.PollConns(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TickPeriod runs one observation period: every tempd checks its
+// machine and admd reacts. Servers whose components red-line are
+// turned off (the action of last resort even under the base policy).
+func (f *Freon) TickPeriod() error {
+	for _, m := range f.order {
+		if f.offline[m] {
+			continue
+		}
+		r, err := f.tempds[m].Check()
+		if err != nil {
+			return err
+		}
+		f.reports[m] = r
+		if r.RedLine {
+			if err := f.shutdown(m); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := f.admd.HandleReport(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shutdown powers a red-lined server off and excludes it from load.
+func (f *Freon) shutdown(machine string) error {
+	if err := f.admd.bal.Quiesce(machine); err != nil {
+		return err
+	}
+	if f.power != nil {
+		if err := f.power.SetPower(machine, false); err != nil {
+			return err
+		}
+	}
+	f.offline[machine] = true
+	return nil
+}
+
+// Offline reports whether Freon has shut a machine down.
+func (f *Freon) Offline(machine string) bool { return f.offline[machine] }
+
+// OfflineCount returns the number of shut-down machines.
+func (f *Freon) OfflineCount() int {
+	n := 0
+	for _, off := range f.offline {
+		if off {
+			n++
+		}
+	}
+	return n
+}
+
+// LastReport returns the most recent tempd report for a machine.
+func (f *Freon) LastReport(machine string) (Report, bool) {
+	r, ok := f.reports[machine]
+	return r, ok
+}
+
+// Machines returns the managed machine names.
+func (f *Freon) Machines() []string { return append([]string(nil), f.order...) }
+
+// Traditional is the baseline the paper compares against: no load
+// shifting at all, just "turning servers off when the temperature of
+// their CPUs crossed Tr". Drive TickPeriod once per observation
+// period.
+type Traditional struct {
+	cfg     Config
+	tempds  map[string]*Tempd
+	order   []string
+	bal     Balancer
+	power   Power
+	offline map[string]bool
+}
+
+// NewTraditional builds the baseline policy.
+func NewTraditional(machines []string, sensors Sensors, bal Balancer, power Power, cfg Config) (*Traditional, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	tr := &Traditional{
+		cfg:     cfg,
+		tempds:  map[string]*Tempd{},
+		bal:     bal,
+		power:   power,
+		offline: map[string]bool{},
+	}
+	for _, m := range machines {
+		td, err := NewTempd(m, sensors, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr.tempds[m] = td
+		tr.order = append(tr.order, m)
+	}
+	return tr, nil
+}
+
+// TickPeriod checks every online machine and shuts down red-lined
+// ones.
+func (t *Traditional) TickPeriod() error {
+	for _, m := range t.order {
+		if t.offline[m] {
+			continue
+		}
+		r, err := t.tempds[m].Check()
+		if err != nil {
+			return err
+		}
+		if !r.RedLine {
+			continue
+		}
+		if err := t.bal.Quiesce(m); err != nil {
+			return err
+		}
+		if t.power != nil {
+			if err := t.power.SetPower(m, false); err != nil {
+				return err
+			}
+		}
+		t.offline[m] = true
+	}
+	return nil
+}
+
+// Offline reports whether the baseline shut a machine down.
+func (t *Traditional) Offline(machine string) bool { return t.offline[machine] }
+
+// OfflineMachines returns the shut-down machines, sorted.
+func (t *Traditional) OfflineMachines() []string {
+	var out []string
+	for m, off := range t.offline {
+		if off {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

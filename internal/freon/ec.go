@@ -1,0 +1,506 @@
+package freon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// ECConfig extends the base configuration with Freon-EC's energy
+// parameters (Section 4.2).
+type ECConfig struct {
+	Config
+	// Regions maps each machine to a physical region of the room;
+	// "common thermal emergencies will likely affect all servers of a
+	// region".
+	Regions map[string]int
+	// Uh is the add-server threshold on projected utilization;
+	// default 0.70.
+	Uh units.Fraction
+	// Ul is the remove-server threshold on current utilization;
+	// default 0.60.
+	Ul units.Fraction
+	// BootDelay approximates how long a server takes from power-on to
+	// accepting connections ("turning on a server takes quite some
+	// time"); default 30s.
+	BootDelay time.Duration
+	// MinActive is the smallest active configuration; default 1.
+	MinActive int
+}
+
+func (c ECConfig) withDefaults() ECConfig {
+	c.Config = c.Config.withDefaults()
+	if c.Uh == 0 {
+		c.Uh = 0.70
+	}
+	if c.Ul == 0 {
+		c.Ul = 0.60
+	}
+	if c.BootDelay <= 0 {
+		c.BootDelay = 30 * time.Second
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	return c
+}
+
+// machinePhase is a machine's place in the reconfiguration lifecycle.
+type machinePhase int
+
+const (
+	phaseActive machinePhase = iota
+	phaseBooting
+	phaseDraining
+	phaseOff
+)
+
+func (p machinePhase) String() string {
+	switch p {
+	case phaseActive:
+		return "active"
+	case phaseBooting:
+		return "booting"
+	case phaseDraining:
+		return "draining"
+	default:
+		return "off"
+	}
+}
+
+// EC is Freon-EC: the base thermal policy combined with region-aware
+// cluster reconfiguration (the pseudo-code of Figure 10).
+type EC struct {
+	cfg    ECConfig
+	order  []string
+	tempds map[string]*Tempd
+	admd   *Admd
+	bal    Balancer
+	power  Power
+	utils  Utils
+
+	phase       map[string]machinePhase
+	bootLeft    map[string]int
+	emergencies map[int]int
+	regions     []int
+	rr          int
+
+	histPrev map[model.UtilSource]float64
+	histCur  map[model.UtilSource]float64
+	histSeen int
+
+	turnOns, turnOffs int
+}
+
+// NewEC builds Freon-EC. All machines start active.
+func NewEC(machines []string, sensors Sensors, utils Utils, bal Balancer, power Power, cfg ECConfig) (*EC, error) {
+	if err := cfg.Config.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if !cfg.Uh.Valid() || !cfg.Ul.Valid() || cfg.Ul >= cfg.Uh {
+		return nil, fmt.Errorf("freon: need 0 <= Ul < Uh <= 1, got Ul=%v Uh=%v", cfg.Ul, cfg.Uh)
+	}
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("freon: no machines")
+	}
+	if power == nil {
+		return nil, fmt.Errorf("freon: Freon-EC requires power control")
+	}
+	if utils == nil {
+		return nil, fmt.Errorf("freon: Freon-EC requires utilization feeds")
+	}
+	e := &EC{
+		cfg:         cfg,
+		tempds:      map[string]*Tempd{},
+		bal:         bal,
+		power:       power,
+		utils:       utils,
+		phase:       map[string]machinePhase{},
+		bootLeft:    map[string]int{},
+		emergencies: map[int]int{},
+		histPrev:    map[model.UtilSource]float64{},
+		histCur:     map[model.UtilSource]float64{},
+	}
+	admd, err := NewAdmd(bal, 1)
+	if err != nil {
+		return nil, err
+	}
+	e.admd = admd
+	regionSet := map[int]bool{}
+	for _, m := range machines {
+		td, err := NewTempd(m, sensors, cfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := cfg.Regions[m]; !ok {
+			return nil, fmt.Errorf("freon: machine %q has no region", m)
+		}
+		e.tempds[m] = td
+		e.order = append(e.order, m)
+		e.phase[m] = phaseActive
+		regionSet[cfg.Regions[m]] = true
+	}
+	for r := range regionSet {
+		e.regions = append(e.regions, r)
+	}
+	sort.Ints(e.regions)
+	return e, nil
+}
+
+// Admd exposes the admission controller.
+func (e *EC) Admd() *Admd { return e.admd }
+
+// ActiveCount returns the machines currently serving (active phase).
+func (e *EC) ActiveCount() int {
+	n := 0
+	for _, m := range e.order {
+		if e.phase[m] == phaseActive {
+			n++
+		}
+	}
+	return n
+}
+
+// PoweredCount returns machines drawing power (active, booting or
+// draining).
+func (e *EC) PoweredCount() int {
+	n := 0
+	for _, m := range e.order {
+		if e.phase[m] != phaseOff {
+			n++
+		}
+	}
+	return n
+}
+
+// Phase returns a machine's lifecycle phase as a string (for logs and
+// experiment output).
+func (e *EC) Phase(machine string) string { return e.phase[machine].String() }
+
+// TurnOns and TurnOffs count reconfigurations.
+func (e *EC) TurnOns() int  { return e.turnOns }
+func (e *EC) TurnOffs() int { return e.turnOffs }
+
+// TickPoll samples connection statistics for powered machines.
+func (e *EC) TickPoll() error {
+	for _, m := range e.order {
+		if e.phase[m] == phaseOff {
+			continue
+		}
+		if err := e.admd.PollConns(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bootTicks converts the boot delay to observation periods.
+func (e *EC) bootTicks() int {
+	t := int(math.Ceil(float64(e.cfg.BootDelay) / float64(e.cfg.Period)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// TickPeriod runs one observation period of Figure 10.
+func (e *EC) TickPeriod() error {
+	e.advanceLifecycles()
+	e.observeUtilization()
+
+	// Gather reports from every powered machine.
+	reports := map[string]Report{}
+	for _, m := range e.order {
+		if e.phase[m] == phaseOff {
+			continue
+		}
+		r, err := e.tempds[m].Check()
+		if err != nil {
+			return err
+		}
+		reports[m] = r
+	}
+
+	// "if (need to add a server) and (at least one server is off)".
+	if e.needAdd() && e.offCount() > 0 {
+		if err := e.turnOnOne(); err != nil {
+			return err
+		}
+	}
+
+	for _, m := range e.order {
+		r, ok := reports[m]
+		if !ok || e.phase[m] != phaseActive {
+			continue
+		}
+		region := e.cfg.Regions[m]
+		switch {
+		case r.JustHot:
+			e.emergencies[region]++
+			if e.offCount() == 0 && !e.canRemove(1) {
+				// "all servers in the cluster need to be active":
+				// manage in place with the base policy.
+				if err := e.admd.HandleReport(r); err != nil {
+					return err
+				}
+				continue
+			}
+			if !e.canRemove(1) {
+				// "if (cannot remove a server) turn on a server".
+				if err := e.turnOnOne(); err != nil {
+					return err
+				}
+			}
+			// "turn off the hot server".
+			if err := e.beginDrain(m); err != nil {
+				return err
+			}
+		case r.JustCool:
+			e.emergencies[region]--
+			if e.emergencies[region] < 0 {
+				e.emergencies[region] = 0
+			}
+			if err := e.admd.HandleReport(r); err != nil {
+				return err
+			}
+		default:
+			if err := e.admd.HandleReport(r); err != nil {
+				return err
+			}
+		}
+	}
+
+	// "if (can still remove servers) turn off as many servers as
+	// possible in increasing order of current processing capacity."
+	if err := e.shrink(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// advanceLifecycles finishes boots and drains.
+func (e *EC) advanceLifecycles() {
+	for _, m := range e.order {
+		switch e.phase[m] {
+		case phaseBooting:
+			e.bootLeft[m]--
+			if e.bootLeft[m] <= 0 {
+				e.phase[m] = phaseActive
+				_ = e.admd.Release(m) // nominal weight, no cap
+				_ = e.bal.Resume(m)
+			}
+		case phaseDraining:
+			if n, err := e.bal.ActiveConns(m); err == nil && n == 0 {
+				_ = e.power.SetPower(m, false)
+				e.phase[m] = phaseOff
+			}
+		}
+	}
+}
+
+// observeUtilization updates the cluster-average utilization history
+// over active machines; Freon-EC "projects utilizations two
+// observation intervals into the future, assuming that load will
+// increase linearly until then".
+func (e *EC) observeUtilization() {
+	sums := map[model.UtilSource]float64{}
+	n := 0
+	for _, m := range e.order {
+		if e.phase[m] != phaseActive {
+			continue
+		}
+		n++
+		for _, comp := range e.cfg.Components {
+			if comp.Util == model.UtilNone {
+				continue
+			}
+			if u, err := e.utils.Utilization(m, comp.Util); err == nil {
+				sums[comp.Util] += float64(u)
+			}
+		}
+	}
+	for src := range e.histCur {
+		e.histPrev[src] = e.histCur[src]
+	}
+	for src, sum := range sums {
+		if n > 0 {
+			e.histCur[src] = sum / float64(n)
+		}
+	}
+	e.histSeen++
+}
+
+// projected returns the two-interval linear projection for a source.
+func (e *EC) projected(src model.UtilSource) float64 {
+	cur := e.histCur[src]
+	prev := e.histPrev[src]
+	if e.histSeen < 2 {
+		return cur
+	}
+	proj := cur + 2*(cur-prev)
+	if proj < 0 {
+		return 0
+	}
+	return proj
+}
+
+// needAdd reports whether any component's projected utilization
+// exceeds Uh.
+func (e *EC) needAdd() bool {
+	for _, comp := range e.cfg.Components {
+		if comp.Util == model.UtilNone {
+			continue
+		}
+		if e.projected(comp.Util) > float64(e.cfg.Uh) {
+			return true
+		}
+	}
+	return false
+}
+
+// canRemove reports whether k servers could leave the active
+// configuration with the average utilization of every component still
+// below Ul.
+func (e *EC) canRemove(k int) bool {
+	active := e.ActiveCount()
+	if active-k < e.cfg.MinActive {
+		return false
+	}
+	for _, comp := range e.cfg.Components {
+		if comp.Util == model.UtilNone {
+			continue
+		}
+		scaled := e.histCur[comp.Util] * float64(active) / float64(active-k)
+		if scaled >= float64(e.cfg.Ul) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *EC) offCount() int {
+	n := 0
+	for _, m := range e.order {
+		if e.phase[m] == phaseOff {
+			n++
+		}
+	}
+	return n
+}
+
+// turnOnOne selects a region round-robin — requiring an off server,
+// preferring regions without emergencies — and boots one server there.
+func (e *EC) turnOnOne() error {
+	pick := func(requireCalm bool) string {
+		for i := 0; i < len(e.regions); i++ {
+			region := e.regions[(e.rr+i)%len(e.regions)]
+			if requireCalm && e.emergencies[region] > 0 {
+				continue
+			}
+			for _, m := range e.order {
+				if e.cfg.Regions[m] == region && e.phase[m] == phaseOff {
+					e.rr = (e.rr + i + 1) % len(e.regions)
+					return m
+				}
+			}
+		}
+		return ""
+	}
+	m := pick(true)
+	if m == "" {
+		m = pick(false)
+	}
+	if m == "" {
+		return nil // nothing off anywhere
+	}
+	if err := e.power.SetPower(m, true); err != nil {
+		return err
+	}
+	e.phase[m] = phaseBooting
+	e.bootLeft[m] = e.bootTicks()
+	e.turnOns++
+	return nil
+}
+
+// beginDrain quiesces a server and lets its connections finish before
+// power-off ("waiting for its current connections to terminate, and
+// then shutting it down").
+func (e *EC) beginDrain(machine string) error {
+	if err := e.bal.Quiesce(machine); err != nil {
+		return err
+	}
+	e.phase[machine] = phaseDraining
+	e.turnOffs++
+	return nil
+}
+
+// shrink turns off as many servers as possible while the remaining
+// average utilization stays below Ul, in increasing order of current
+// processing capacity (weight), hottest first among equals — hampered
+// servers leave the configuration first.
+func (e *EC) shrink() error {
+	for e.canRemove(1) {
+		type cand struct {
+			name   string
+			weight float64
+			temp   float64
+		}
+		var cands []cand
+		for _, m := range e.order {
+			if e.phase[m] != phaseActive {
+				continue
+			}
+			w, err := e.bal.Weight(m)
+			if err != nil {
+				return err
+			}
+			var maxTemp float64
+			if r, ok := e.lastReport(m); ok {
+				for _, t := range r.Temps {
+					if float64(t) > maxTemp {
+						maxTemp = float64(t)
+					}
+				}
+			}
+			cands = append(cands, cand{name: m, weight: w, temp: maxTemp})
+		}
+		if len(cands) <= e.cfg.MinActive {
+			return nil
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].weight != cands[j].weight {
+				return cands[i].weight < cands[j].weight
+			}
+			if cands[i].temp != cands[j].temp {
+				return cands[i].temp > cands[j].temp
+			}
+			return cands[i].name < cands[j].name
+		})
+		if err := e.beginDrain(cands[0].name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lastReport pulls the most recent report out of a tempd's state.
+func (e *EC) lastReport(machine string) (Report, bool) {
+	td, ok := e.tempds[machine]
+	if !ok {
+		return Report{}, false
+	}
+	r := Report{Machine: machine, Temps: map[string]units.Celsius{}}
+	for i := range td.comps {
+		c := &td.comps[i]
+		if !c.seen {
+			return Report{}, false
+		}
+		r.Temps[c.spec.Node] = c.last
+	}
+	return r, true
+}

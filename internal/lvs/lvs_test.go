@@ -1,0 +1,255 @@
+package lvs
+
+import (
+	"errors"
+	"testing"
+)
+
+func newB(t *testing.T, names ...string) *Balancer {
+	t.Helper()
+	b := New()
+	for _, n := range names {
+		if err := b.AddServer(n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestAddRemove(t *testing.T) {
+	b := New()
+	if err := b.AddServer("", 1); err == nil {
+		t.Error("empty name: want error")
+	}
+	if err := b.AddServer("s1", 0); err == nil {
+		t.Error("zero weight: want error")
+	}
+	if err := b.AddServer("s1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddServer("s1", 1); err == nil {
+		t.Error("duplicate: want error")
+	}
+	if got := b.Servers(); len(got) != 1 || got[0] != "s1" {
+		t.Errorf("Servers = %v", got)
+	}
+	if err := b.RemoveServer("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveServer("s1"); err == nil {
+		t.Error("remove twice: want error")
+	}
+	if len(b.Servers()) != 0 {
+		t.Error("server not removed")
+	}
+}
+
+func TestLeastConnections(t *testing.T) {
+	b := newB(t, "s1", "s2")
+	// First goes to s1 (tie, registration order), second to s2, then
+	// they alternate as connections accumulate.
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		name, err := b.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[name]++
+	}
+	if counts["s1"] != 5 || counts["s2"] != 5 {
+		t.Errorf("equal-weight distribution = %v, want 5/5", counts)
+	}
+}
+
+func TestWeightedDistribution(t *testing.T) {
+	b := New()
+	b.AddServer("big", 3)
+	b.AddServer("small", 1)
+	counts := map[string]int{}
+	for i := 0; i < 400; i++ {
+		name, err := b.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[name]++
+	}
+	// big should get ~3x the connections.
+	ratio := float64(counts["big"]) / float64(counts["small"])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("weighted ratio = %v (counts %v), want ~3", ratio, counts)
+	}
+}
+
+func TestDoneRebalances(t *testing.T) {
+	b := newB(t, "s1", "s2")
+	// Load s1 with 5 connections directly.
+	for i := 0; i < 5; i++ {
+		b.Assign()
+		b.Assign()
+	}
+	// Drain s1 completely; next assignments should prefer it.
+	for i := 0; i < 5; i++ {
+		if err := b.Done("s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name, _ := b.Assign()
+	if name != "s1" {
+		t.Errorf("after draining, assignment went to %s", name)
+	}
+	if err := b.Done("ghost"); err == nil {
+		t.Error("Done unknown: want error")
+	}
+	for i := 0; i < 10; i++ {
+		b.Done("s1")
+	}
+	if err := b.Done("s1"); err == nil {
+		t.Error("Done below zero: want error")
+	}
+}
+
+func TestZeroWeightExcludes(t *testing.T) {
+	b := newB(t, "s1", "s2")
+	b.SetWeight("s1", 0)
+	for i := 0; i < 5; i++ {
+		name, err := b.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "s2" {
+			t.Errorf("zero-weight server still assigned")
+		}
+	}
+	if w, _ := b.Weight("s1"); w != 0 {
+		t.Errorf("weight = %v", w)
+	}
+	if err := b.SetWeight("s1", -1); err == nil {
+		t.Error("negative weight: want error")
+	}
+}
+
+func TestWeightReductionShiftsLoad(t *testing.T) {
+	// Freon's mechanism: reducing a hot server's weight moves new load
+	// to the others.
+	b := newB(t, "hot", "cool1", "cool2")
+	b.SetWeight("hot", 0.25)
+	counts := map[string]int{}
+	for i := 0; i < 900; i++ {
+		name, err := b.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[name]++
+	}
+	// hot should carry about 0.25/2.25 = 11% of connections.
+	share := float64(counts["hot"]) / 900
+	if share < 0.08 || share > 0.15 {
+		t.Errorf("hot share = %v (counts %v), want ~0.11", share, counts)
+	}
+}
+
+func TestConnectionCap(t *testing.T) {
+	b := newB(t, "s1", "s2")
+	if err := b.SetConnLimit("s1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := b.ConnLimit("s1"); l != 3 {
+		t.Errorf("limit = %d", l)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		name, err := b.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[name]++
+	}
+	if counts["s1"] != 3 || counts["s2"] != 7 {
+		t.Errorf("capped distribution = %v, want 3/7", counts)
+	}
+	if err := b.SetConnLimit("s1", -1); err == nil {
+		t.Error("negative cap: want error")
+	}
+}
+
+func TestAllCappedDrops(t *testing.T) {
+	b := newB(t, "s1")
+	b.SetConnLimit("s1", 1)
+	if _, err := b.Assign(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Assign(); !errors.Is(err, ErrNoServer) {
+		t.Errorf("want ErrNoServer, got %v", err)
+	}
+}
+
+func TestQuiesceAndResume(t *testing.T) {
+	b := newB(t, "s1", "s2")
+	if err := b.Quiesce("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if q, _ := b.Quiesced("s1"); !q {
+		t.Error("not quiesced")
+	}
+	for i := 0; i < 4; i++ {
+		name, err := b.Assign()
+		if err != nil || name != "s2" {
+			t.Fatalf("assignment during quiesce: %s %v", name, err)
+		}
+	}
+	if err := b.Resume("s1"); err != nil {
+		t.Fatal(err)
+	}
+	name, _ := b.Assign()
+	if name != "s1" {
+		t.Errorf("resumed server not preferred (0 conns): got %s", name)
+	}
+}
+
+func TestAllQuiescedDrops(t *testing.T) {
+	b := newB(t, "s1")
+	b.Quiesce("s1")
+	if _, err := b.Assign(); !errors.Is(err, ErrNoServer) {
+		t.Errorf("want ErrNoServer, got %v", err)
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	b := New()
+	b.AddServer("s1", 2)
+	b.AddServer("s2", 3)
+	if got := b.TotalWeight(); got != 5 {
+		t.Errorf("TotalWeight = %v", got)
+	}
+	b.Quiesce("s2")
+	if got := b.TotalWeight(); got != 2 {
+		t.Errorf("TotalWeight after quiesce = %v", got)
+	}
+}
+
+func TestCountersAndErrors(t *testing.T) {
+	b := newB(t, "s1")
+	b.Assign()
+	b.Assign()
+	if n, _ := b.ActiveConns("s1"); n != 2 {
+		t.Errorf("ActiveConns = %d", n)
+	}
+	if a, _ := b.Assigned("s1"); a != 2 {
+		t.Errorf("Assigned = %d", a)
+	}
+	for _, call := range []func() error{
+		func() error { return b.SetWeight("ghost", 1) },
+		func() error { _, err := b.Weight("ghost"); return err },
+		func() error { return b.SetConnLimit("ghost", 1) },
+		func() error { _, err := b.ConnLimit("ghost"); return err },
+		func() error { return b.Quiesce("ghost") },
+		func() error { return b.Resume("ghost") },
+		func() error { _, err := b.Quiesced("ghost"); return err },
+		func() error { _, err := b.ActiveConns("ghost"); return err },
+		func() error { _, err := b.Assigned("ghost"); return err },
+	} {
+		if call() == nil {
+			t.Error("unknown server: want error")
+		}
+	}
+}

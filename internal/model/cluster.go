@@ -1,0 +1,203 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/darklab/mercury/internal/units"
+)
+
+// ClusterSource is an air source at the machine-room level, typically
+// an air conditioner: its supply temperature is pinned (and may be
+// changed at run time with fiddle to emulate a cooling failure).
+type ClusterSource struct {
+	// Name identifies the source, e.g. "ac".
+	Name string
+	// SupplyTemp is the temperature of the air the source delivers.
+	SupplyTemp units.Celsius
+}
+
+// ClusterSink is an air sink at the machine-room level, typically the
+// return plenum ("Cluster Exhaust" in Figure 1c).
+type ClusterSink struct {
+	Name string
+}
+
+// ClusterEdge is a directed air connection at the room level. From and
+// To name a source, a sink, or a machine: a machine appearing as From
+// contributes its exhaust air; a machine appearing as To receives the
+// air at its inlet.
+//
+// Fraction is interpreted on both sides of the edge: on the From side
+// it is the share of the origin's output carried by the edge (shares
+// leaving a machine must sum to 1); on the To side the solver mixes a
+// machine's inlet as the fraction-weighted average of its incoming
+// edges, normalized per destination — the paper's "perfect mixing ...
+// weighted average of the incoming-edge air temperatures and
+// fractions".
+type ClusterEdge struct {
+	From, To string
+	Fraction units.Fraction
+}
+
+// Cluster is a machine-room thermal model: a set of machines plus the
+// room-level air-flow graph of Figure 1(c).
+type Cluster struct {
+	Name     string
+	Machines []*Machine
+	Sources  []ClusterSource
+	Sinks    []ClusterSink
+	Edges    []ClusterEdge
+}
+
+// Machine returns the named machine, or nil.
+func (c *Cluster) Machine(name string) *Machine {
+	for _, m := range c.Machines {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Source returns the named source, or nil.
+func (c *Cluster) Source(name string) *ClusterSource {
+	for i := range c.Sources {
+		if c.Sources[i].Name == name {
+			return &c.Sources[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the cluster's invariants: valid machines with unique
+// names, unique source/sink names disjoint from machine names, edges
+// connecting known vertices in legal directions (sources only send,
+// sinks only receive, machines both), every machine receiving at least
+// one incoming edge, every machine's outgoing fractions summing to 1,
+// and at least one source and one sink.
+func (c *Cluster) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("model: cluster has no name")
+	}
+	if len(c.Machines) == 0 {
+		return fmt.Errorf("model: cluster %s has no machines", c.Name)
+	}
+	if len(c.Sources) == 0 {
+		return fmt.Errorf("model: cluster %s has no air sources", c.Name)
+	}
+	if len(c.Sinks) == 0 {
+		return fmt.Errorf("model: cluster %s has no air sinks", c.Name)
+	}
+	kind := map[string]string{} // name -> "machine"|"source"|"sink"
+	for _, m := range c.Machines {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if _, dup := kind[m.Name]; dup {
+			return fmt.Errorf("model: cluster %s: duplicate vertex name %q", c.Name, m.Name)
+		}
+		kind[m.Name] = "machine"
+	}
+	for _, s := range c.Sources {
+		if err := validName(s.Name); err != nil {
+			return fmt.Errorf("model: cluster %s: %w", c.Name, err)
+		}
+		if _, dup := kind[s.Name]; dup {
+			return fmt.Errorf("model: cluster %s: duplicate vertex name %q", c.Name, s.Name)
+		}
+		if !s.SupplyTemp.Valid() {
+			return fmt.Errorf("model: cluster %s: source %q has invalid supply temperature", c.Name, s.Name)
+		}
+		kind[s.Name] = "source"
+	}
+	for _, s := range c.Sinks {
+		if err := validName(s.Name); err != nil {
+			return fmt.Errorf("model: cluster %s: %w", c.Name, err)
+		}
+		if _, dup := kind[s.Name]; dup {
+			return fmt.Errorf("model: cluster %s: duplicate vertex name %q", c.Name, s.Name)
+		}
+		kind[s.Name] = "sink"
+	}
+
+	in := map[string]float64{}
+	out := map[string]float64{}
+	for _, e := range c.Edges {
+		kf, okF := kind[e.From]
+		kt, okT := kind[e.To]
+		if !okF || !okT {
+			return fmt.Errorf("model: cluster %s: edge %s->%s references unknown vertex", c.Name, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("model: cluster %s: edge %s->%s is a self-loop", c.Name, e.From, e.To)
+		}
+		if kf == "sink" {
+			return fmt.Errorf("model: cluster %s: edge %s->%s flows out of a sink", c.Name, e.From, e.To)
+		}
+		if kt == "source" {
+			return fmt.Errorf("model: cluster %s: edge %s->%s flows into a source", c.Name, e.From, e.To)
+		}
+		if !e.Fraction.Valid() || e.Fraction == 0 {
+			return fmt.Errorf("model: cluster %s: edge %s->%s has invalid fraction %v", c.Name, e.From, e.To, float64(e.Fraction))
+		}
+		out[e.From] += float64(e.Fraction)
+		in[e.To] += float64(e.Fraction)
+	}
+	const tol = 1e-6
+	for _, m := range c.Machines {
+		if in[m.Name] == 0 {
+			return fmt.Errorf("model: cluster %s: machine %q receives no air", c.Name, m.Name)
+		}
+		sum := out[m.Name]
+		if sum < 1-tol || sum > 1+tol {
+			return fmt.Errorf("model: cluster %s: machine %q outgoing fractions sum to %.6f, want 1", c.Name, m.Name, sum)
+		}
+	}
+	return nil
+}
+
+// MachineTopoOrder returns the machines in a topological order of the
+// room-level graph restricted to machine->machine (recirculation)
+// edges, so the solver can propagate exhaust air to downstream inlets
+// within one step. An error is returned when recirculation edges form
+// a cycle; such clusters are still solvable (the solver falls back to
+// previous-step exhaust temperatures) but callers that require
+// same-step propagation should reject them.
+func (c *Cluster) MachineTopoOrder() ([]string, error) {
+	isMachine := map[string]bool{}
+	for _, m := range c.Machines {
+		isMachine[m.Name] = true
+	}
+	indeg := map[string]int{}
+	adj := map[string][]string{}
+	for _, m := range c.Machines {
+		indeg[m.Name] = 0
+	}
+	for _, e := range c.Edges {
+		if isMachine[e.From] && isMachine[e.To] {
+			adj[e.From] = append(adj[e.From], e.To)
+			indeg[e.To]++
+		}
+	}
+	var queue, order []string
+	for _, m := range c.Machines {
+		if indeg[m.Name] == 0 {
+			queue = append(queue, m.Name)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, to := range adj[n] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != len(c.Machines) {
+		return nil, fmt.Errorf("model: cluster %s: recirculation edges form a cycle", c.Name)
+	}
+	return order, nil
+}

@@ -1,0 +1,154 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultClusterValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16} {
+		c, err := DefaultCluster("room", n)
+		if err != nil {
+			t.Fatalf("DefaultCluster(%d): %v", n, err)
+		}
+		if len(c.Machines) != n {
+			t.Errorf("DefaultCluster(%d) has %d machines", n, len(c.Machines))
+		}
+	}
+	if _, err := DefaultCluster("room", 0); err == nil {
+		t.Error("DefaultCluster(0): want error")
+	}
+}
+
+func TestDefaultClusterFigure1c(t *testing.T) {
+	c, err := DefaultCluster("room", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: AC -> each machine 0.25; machine -> cluster exhaust 1.0.
+	acOut := 0
+	for _, e := range c.Edges {
+		if e.From == NodeAC {
+			acOut++
+			if e.Fraction != 0.25 {
+				t.Errorf("AC->%s fraction = %v, want 0.25", e.To, float64(e.Fraction))
+			}
+		}
+		if e.To == NodeClusterExhaust && e.Fraction != 1 {
+			t.Errorf("%s->exhaust fraction = %v, want 1", e.From, float64(e.Fraction))
+		}
+	}
+	if acOut != 4 {
+		t.Errorf("AC has %d outgoing edges, want 4", acOut)
+	}
+	if src := c.Source(NodeAC); src == nil || src.SupplyTemp != 21.6 {
+		t.Errorf("AC supply temp = %+v, want 21.6", src)
+	}
+}
+
+func TestClusterLookups(t *testing.T) {
+	c, _ := DefaultCluster("room", 2)
+	if c.Machine("machine2") == nil {
+		t.Error("Machine(machine2) == nil")
+	}
+	if c.Machine("machine9") != nil {
+		t.Error("Machine(machine9) != nil")
+	}
+	if c.Source("nope") != nil {
+		t.Error("Source(nope) != nil")
+	}
+}
+
+func TestClusterValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Cluster)
+	}{
+		{"no name", func(c *Cluster) { c.Name = "" }},
+		{"no machines", func(c *Cluster) { c.Machines = nil }},
+		{"no sources", func(c *Cluster) { c.Sources = nil }},
+		{"no sinks", func(c *Cluster) { c.Sinks = nil }},
+		{"dup vertex", func(c *Cluster) { c.Sources = append(c.Sources, ClusterSource{Name: "machine1", SupplyTemp: 20}) }},
+		{"invalid supply temp", func(c *Cluster) { c.Sources[0].SupplyTemp = -300 }},
+		{"edge unknown vertex", func(c *Cluster) {
+			c.Edges = append(c.Edges, ClusterEdge{From: "ghost", To: "machine1", Fraction: 0.5})
+		}},
+		{"edge out of sink", func(c *Cluster) {
+			c.Edges = append(c.Edges, ClusterEdge{From: NodeClusterExhaust, To: "machine1", Fraction: 0.5})
+		}},
+		{"edge into source", func(c *Cluster) {
+			c.Edges = append(c.Edges, ClusterEdge{From: "machine1", To: NodeAC, Fraction: 0.5})
+		}},
+		{"zero fraction", func(c *Cluster) { c.Edges[0].Fraction = 0 }},
+		{"machine no intake", func(c *Cluster) {
+			var kept []ClusterEdge
+			for _, e := range c.Edges {
+				if e.To != "machine1" {
+					kept = append(kept, e)
+				}
+			}
+			c.Edges = kept
+		}},
+		{"machine out sum", func(c *Cluster) {
+			for i := range c.Edges {
+				if c.Edges[i].From == "machine1" {
+					c.Edges[i].Fraction = 0.5
+				}
+			}
+		}},
+		{"invalid machine", func(c *Cluster) { c.Machines[0].FanFlow = 0 }},
+	}
+	for _, tc := range cases {
+		c, err := DefaultCluster("room", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.mut(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}
+
+func TestMachineTopoOrderNoRecirculation(t *testing.T) {
+	c, _ := DefaultCluster("room", 4)
+	order, err := c.MachineTopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Errorf("topo order has %d machines", len(order))
+	}
+}
+
+func TestMachineTopoOrderWithRecirculation(t *testing.T) {
+	c, _ := DefaultCluster("room", 2)
+	// machine1 exhaust partially recirculates into machine2's inlet.
+	for i := range c.Edges {
+		if c.Edges[i].From == "machine1" && c.Edges[i].To == NodeClusterExhaust {
+			c.Edges[i].Fraction = 0.9
+		}
+	}
+	c.Edges = append(c.Edges, ClusterEdge{From: "machine1", To: "machine2", Fraction: 0.1})
+	if err := c.Validate(); err != nil {
+		t.Fatalf("recirculating cluster should validate: %v", err)
+	}
+	order, err := c.MachineTopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "machine1" || order[1] != "machine2" {
+		t.Errorf("topo order = %v, want machine1 before machine2", order)
+	}
+
+	// Close the loop: now a cycle.
+	for i := range c.Edges {
+		if c.Edges[i].From == "machine2" && c.Edges[i].To == NodeClusterExhaust {
+			c.Edges[i].Fraction = 0.9
+		}
+	}
+	c.Edges = append(c.Edges, ClusterEdge{From: "machine2", To: "machine1", Fraction: 0.1})
+	if _, err := c.MachineTopoOrder(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/darklab/mercury/internal/thermo"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// CMP node-name helpers.
+const (
+	// NodeChip is the shared die/heat-spreader node of a CMP server.
+	NodeChip = "chip"
+)
+
+// CoreNode returns the node name of core i of a CMP server.
+func CoreNode(i int) string { return fmt.Sprintf("core%d", i) }
+
+// CoreUtil returns the utilization source that drives core i.
+func CoreUtil(i int) UtilSource { return UtilSource(fmt.Sprintf("cpu%d", i)) }
+
+// CMPServer builds the validation server with its CPU replaced by a
+// two-level chip-multiprocessor model, the extension Section 7 of the
+// paper sketches ("the emulation of chip multiprocessors ... will
+// probably have to be done in two levels, for each core and the entire
+// chip"): per-core die nodes, each driven by its own utilization
+// stream (cpu0..cpuN-1), couple into a shared chip/heat-spreader node,
+// which couples to the CPU air exactly as the lumped CPU did.
+//
+// The budgets match Table 1's package: the cores together idle at 7 W
+// and peak at 31 W, the total thermal mass equals the original
+// CPU-plus-sink, and the chip-to-air constant stays 0.75 W/K — so a
+// CMP server with all cores at equal utilization behaves like the
+// lumped machine at that utilization, while imbalanced loads expose
+// per-core hot spots.
+func CMPServer(name string, cores int) (*Machine, error) {
+	if cores < 1 || cores > 64 {
+		return nil, fmt.Errorf("model: CMP core count %d outside 1..64", cores)
+	}
+	m := DefaultServer(name)
+
+	// Remove the lumped CPU and its heat edges.
+	var comps []Component
+	for _, c := range m.Components {
+		if c.Name != NodeCPU {
+			comps = append(comps, c)
+		}
+	}
+	m.Components = comps
+	var edges []HeatEdge
+	for _, e := range m.HeatEdges {
+		if e.A != NodeCPU && e.B != NodeCPU {
+			edges = append(edges, e)
+		}
+	}
+	m.HeatEdges = edges
+
+	t := Table1
+	// The chip/heat-spreader carries most of the package's thermal
+	// mass; the core dies split the remainder.
+	const coreMassShare = 0.15
+	chipMass := t.CPUMass * units.Kilograms(1-coreMassShare)
+	coreMass := t.CPUMass * units.Kilograms(coreMassShare) / units.Kilograms(cores)
+
+	m.Components = append(m.Components, Component{
+		Name:         NodeChip,
+		Mass:         chipMass,
+		SpecificHeat: units.AluminumSpecificHeat,
+	})
+	m.HeatEdges = append(m.HeatEdges,
+		HeatEdge{A: NodeChip, B: NodeCPUAir, K: t.KCPUAir},
+		HeatEdge{A: NodeMotherboard, B: NodeChip, K: t.KMotherboardCPU},
+	)
+
+	base := t.CPUPower.PBase / units.Watts(cores)
+	max := t.CPUPower.PMax / units.Watts(cores)
+	// Core-to-chip coupling: dies sit directly on the spreader, so the
+	// per-core constant is high; scaling with core count keeps the
+	// aggregate coupling constant.
+	coreK := units.WattsPerKelvin(8.0 / float64(cores))
+	for i := 0; i < cores; i++ {
+		m.Components = append(m.Components, Component{
+			Name:         CoreNode(i),
+			Mass:         coreMass,
+			SpecificHeat: units.AluminumSpecificHeat,
+			Power:        thermo.Linear{PBase: base, PMax: max},
+			Util:         CoreUtil(i),
+		})
+		m.HeatEdges = append(m.HeatEdges, HeatEdge{A: CoreNode(i), B: NodeChip, K: coreK})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

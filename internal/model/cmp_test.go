@@ -1,0 +1,62 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCMPServerValidates(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 16} {
+		m, err := CMPServer("m", cores)
+		if err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		if m.Component(NodeCPU) != nil {
+			t.Error("lumped CPU still present")
+		}
+		if m.Component(NodeChip) == nil {
+			t.Error("chip node missing")
+		}
+		for i := 0; i < cores; i++ {
+			if m.Component(CoreNode(i)) == nil {
+				t.Errorf("core %d missing", i)
+			}
+		}
+	}
+	if _, err := CMPServer("m", 0); err == nil {
+		t.Error("0 cores: want error")
+	}
+	if _, err := CMPServer("m", 65); err == nil {
+		t.Error("65 cores: want error")
+	}
+}
+
+func TestCMPBudgetsMatchLumpedCPU(t *testing.T) {
+	m, err := CMPServer("m", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalMass, totalBase, totalMax float64
+	totalMass = float64(m.Component(NodeChip).Mass)
+	for i := 0; i < 4; i++ {
+		c := m.Component(CoreNode(i))
+		totalMass += float64(c.Mass)
+		totalBase += float64(c.Power.Base())
+		totalMax += float64(c.Power.Max())
+	}
+	if math.Abs(totalMass-0.151) > 1e-9 {
+		t.Errorf("total package mass = %v, want 0.151", totalMass)
+	}
+	if math.Abs(totalBase-7) > 1e-9 || math.Abs(totalMax-31) > 1e-9 {
+		t.Errorf("total power = %v..%v, want 7..31", totalBase, totalMax)
+	}
+}
+
+func TestCMPHelpers(t *testing.T) {
+	if CoreNode(3) != "core3" {
+		t.Errorf("CoreNode = %q", CoreNode(3))
+	}
+	if CoreUtil(3) != UtilSource("cpu3") {
+		t.Errorf("CoreUtil = %q", CoreUtil(3))
+	}
+}

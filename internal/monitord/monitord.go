@@ -1,0 +1,110 @@
+// Package monitord implements Mercury's monitoring daemon (Section
+// 2.3): it "periodically samples the utilization of the components of
+// the machine on which it is running and reports that information to
+// the solver" in 128-byte UDP datagrams, once per second by default.
+package monitord
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/darklab/mercury/internal/procfs"
+	"github.com/darklab/mercury/internal/udprpc"
+	"github.com/darklab/mercury/internal/wire"
+)
+
+// Daemon samples one machine's utilizations and streams them to the
+// solver daemon.
+type Daemon struct {
+	machine  string
+	sampler  procfs.Sampler
+	client   *udprpc.Client
+	interval time.Duration
+	seq      uint32
+	sent     uint64
+}
+
+// Config configures a Daemon.
+type Config struct {
+	// Machine is the name this daemon reports as; it must match a
+	// machine in the solver's model.
+	Machine string
+	// Sampler provides the utilizations (procfs.New for a live Linux
+	// host, procfs.NewSynthetic for emulation).
+	Sampler procfs.Sampler
+	// SolverAddr is the solver daemon's UDP address.
+	SolverAddr string
+	// Interval between updates; default 1s, the paper's "tunable
+	// parameter set to 1 second by default".
+	Interval time.Duration
+}
+
+// New connects a Daemon to the solver daemon.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Machine == "" {
+		return nil, fmt.Errorf("monitord: machine name required")
+	}
+	if cfg.Sampler == nil {
+		return nil, fmt.Errorf("monitord: sampler required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	client, err := udprpc.Dial(cfg.SolverAddr, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("monitord: %w", err)
+	}
+	return &Daemon{
+		machine:  cfg.Machine,
+		sampler:  cfg.Sampler,
+		client:   client,
+		interval: cfg.Interval,
+	}, nil
+}
+
+// SampleOnce takes one sample and sends one update datagram.
+func (d *Daemon) SampleOnce() error {
+	utils, err := d.sampler.Sample()
+	if err != nil {
+		return fmt.Errorf("monitord: sample: %w", err)
+	}
+	d.seq++
+	u := &wire.UtilUpdate{Machine: d.machine, Seq: d.seq}
+	for src, v := range utils {
+		u.Entries = append(u.Entries, wire.UtilEntry{Source: src, Util: v})
+	}
+	buf, err := wire.MarshalUtilUpdate(u)
+	if err != nil {
+		return fmt.Errorf("monitord: %w", err)
+	}
+	if err := d.client.Send(buf); err != nil {
+		return fmt.Errorf("monitord: %w", err)
+	}
+	d.sent++
+	return nil
+}
+
+// Sent returns the number of updates successfully handed to the
+// network.
+func (d *Daemon) Sent() uint64 { return d.sent }
+
+// Run samples on the configured interval until ctx is done. Transient
+// sample or send failures are tolerated (the solver just keeps the
+// previous utilization, as with any lost UDP datagram); Run returns
+// only when ctx is cancelled.
+func (d *Daemon) Run(ctx context.Context) error {
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			_ = d.SampleOnce()
+		}
+	}
+}
+
+// Close releases the daemon's socket.
+func (d *Daemon) Close() error { return d.client.Close() }

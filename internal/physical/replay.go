@@ -1,0 +1,57 @@
+package physical
+
+import (
+	"time"
+
+	"github.com/darklab/mercury/internal/stats"
+	"github.com/darklab/mercury/internal/trace"
+)
+
+// Measurements holds the sensor time series recorded while the
+// reference machine ran a benchmark — the stand-in for the paper's
+// logged thermometer and in-disk sensor readings.
+type Measurements struct {
+	CPUAir *stats.Series
+	Disk   *stats.Series
+}
+
+// Replay runs the reference machine through a utilization trace
+// (machine names in the trace are ignored; the reference machine is a
+// single box) and records sensor readings every sampleEvery of
+// emulated time.
+func (r *RefServer) Replay(tr *trace.Trace, sampleEvery time.Duration) *Measurements {
+	if sampleEvery <= 0 {
+		sampleEvery = 10 * time.Second
+	}
+	m := &Measurements{
+		CPUAir: stats.NewSeries("cpu_air measured"),
+		Disk:   stats.NewSeries("disk measured"),
+	}
+	sample := func(at time.Duration) {
+		m.CPUAir.Add(at, float64(r.ReadCPUAirSensor()))
+		m.Disk.Add(at, float64(r.ReadDiskSensor()))
+	}
+	idx := 0
+	apply := func(until time.Duration) {
+		for idx < len(tr.Records) && tr.Records[idx].At <= until {
+			rec := tr.Records[idx]
+			r.SetUtilization(rec.Source, rec.Util)
+			idx++
+		}
+	}
+	start := r.Now()
+	end := tr.Duration()
+	apply(0)
+	sample(0)
+	next := sampleEvery
+	for r.Now()-start < end {
+		r.Step()
+		now := r.Now() - start
+		apply(now)
+		if now >= next {
+			sample(now)
+			next += sampleEvery
+		}
+	}
+	return m
+}

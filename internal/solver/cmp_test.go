@@ -1,0 +1,96 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+)
+
+// The CMP behavioural tests live here (not in package model) because
+// they need the solver, which model cannot import.
+
+func newCMPSolver(t *testing.T, cores int) *Solver {
+	t.Helper()
+	m, err := model.CMPServer("m", cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSingle(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCMPImbalanceCreatesHotSpot(t *testing.T) {
+	s := newCMPSolver(t, 4)
+	if err := s.SetUtilization("m", model.CoreUtil(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(4 * time.Hour)
+	hot := mustTemp(t, s, "m", model.CoreNode(0))
+	chip := mustTemp(t, s, "m", model.NodeChip)
+	idle := mustTemp(t, s, "m", model.CoreNode(2))
+	// Every core runs above the spreader (even idle ones draw their
+	// base power), and the loaded core is the hottest.
+	if !(hot > idle && idle > chip) {
+		t.Errorf("want hot core %v > idle core %v > chip %v ordering", hot, idle, chip)
+	}
+	if hot-idle < 1 {
+		t.Errorf("hot spot too small: %v vs %v", hot, idle)
+	}
+}
+
+func TestCMPBalancedMatchesLumped(t *testing.T) {
+	// All cores at u should track the lumped CPU at u: the CMP model
+	// refines, not replaces, the package behaviour.
+	lumped := newTestSolver(t, Config{})
+	lumped.SetUtilization("m1", model.UtilCPU, 0.7)
+	lumpedSteady, err := lumped.SteadyState("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmp := newCMPSolver(t, 4)
+	for i := 0; i < 4; i++ {
+		cmp.SetUtilization("m", model.CoreUtil(i), 0.7)
+	}
+	cmpSteady, err := cmp.SteadyState("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(float64(cmpSteady[model.NodeChip] - lumpedSteady[model.NodeCPU])); d > 2 {
+		t.Errorf("chip %v vs lumped CPU %v (delta %v)",
+			cmpSteady[model.NodeChip], lumpedSteady[model.NodeCPU], d)
+	}
+	if cmpSteady[model.CoreNode(0)] <= cmpSteady[model.NodeChip] {
+		t.Error("cores should run above the spreader")
+	}
+	if d := math.Abs(float64(cmpSteady[model.NodeExhaust] - lumpedSteady[model.NodeExhaust])); d > 0.2 {
+		t.Errorf("exhaust %v vs %v", cmpSteady[model.NodeExhaust], lumpedSteady[model.NodeExhaust])
+	}
+}
+
+func TestCMPMigrationCoolsHotCore(t *testing.T) {
+	// The OS-level use case the paper cites (heat-and-run style
+	// migration): moving the hot thread to a cool core drops the
+	// original core's temperature.
+	s := newCMPSolver(t, 2)
+	s.SetUtilization("m", model.CoreUtil(0), 1)
+	s.Run(time.Hour)
+	before := mustTemp(t, s, "m", model.CoreNode(0))
+	// Migrate.
+	s.SetUtilization("m", model.CoreUtil(0), 0)
+	s.SetUtilization("m", model.CoreUtil(1), 1)
+	s.Run(time.Hour)
+	after := mustTemp(t, s, "m", model.CoreNode(0))
+	other := mustTemp(t, s, "m", model.CoreNode(1))
+	if after >= before-0.5 {
+		t.Errorf("migration did not cool core0: %v -> %v", before, after)
+	}
+	if other <= after {
+		t.Errorf("destination core %v should now be hotter than %v", other, after)
+	}
+}

@@ -1,0 +1,255 @@
+package solver
+
+import (
+	"fmt"
+
+	"github.com/darklab/mercury/internal/units"
+)
+
+// The methods in this file implement the run-time mutations behind the
+// fiddle tool (Section 2.3): "Fiddle can force the solver to change any
+// constant or temperature on-line." Each method is an independent,
+// atomic operation so the UDP daemon can apply them while the stepping
+// loop runs.
+
+// SetNodeTemperature forces a node to the given temperature
+// immediately (a one-shot assignment; the physics evolves it from
+// there).
+func (s *Solver) SetNodeTemperature(machine, node string, t units.Celsius) error {
+	if !t.Valid() {
+		return fmt.Errorf("solver: invalid temperature %v", t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	idx, ok := cm.index[node]
+	if !ok {
+		return &ErrUnknown{Kind: "node", Name: machine + "/" + node}
+	}
+	cm.temps[idx] = float64(t)
+	return nil
+}
+
+// PinInlet overrides a machine's inlet temperature until UnpinInlet.
+// This is fiddle's workhorse for thermal emergencies: "fiddle machine1
+// temperature inlet 30" emulates an air-conditioning failure or a
+// blocked intake.
+func (s *Solver) PinInlet(machine string, t units.Celsius) error {
+	if !t.Valid() {
+		return fmt.Errorf("solver: invalid temperature %v", t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	v := float64(t)
+	cm.inletPin = &v
+	cm.inletTemp = v
+	return nil
+}
+
+// UnpinInlet removes an inlet override; the machine's inlet goes back
+// to the room-level mix on the next step.
+func (s *Solver) UnpinInlet(machine string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	cm.inletPin = nil
+	return nil
+}
+
+// InletPinned reports whether the machine's inlet is currently
+// overridden and, if so, at what temperature.
+func (s *Solver) InletPinned(machine string) (bool, units.Celsius, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return false, 0, err
+	}
+	if cm.inletPin == nil {
+		return false, 0, nil
+	}
+	return true, units.Celsius(*cm.inletPin), nil
+}
+
+// SetSourceTemperature changes a room-level source's supply
+// temperature (e.g. the AC setpoint, or its failure).
+func (s *Solver) SetSourceTemperature(source string, t units.Celsius) error {
+	if !t.Valid() {
+		return fmt.Errorf("solver: invalid temperature %v", t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.srcIdx[source]
+	if !ok {
+		return &ErrUnknown{Kind: "source", Name: source}
+	}
+	s.sources[i].supply = float64(t)
+	return nil
+}
+
+// SourceTemperature returns a source's current supply temperature.
+func (s *Solver) SourceTemperature(source string) (units.Celsius, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.srcIdx[source]
+	if !ok {
+		return 0, &ErrUnknown{Kind: "source", Name: source}
+	}
+	return units.Celsius(s.sources[i].supply), nil
+}
+
+// SetHeatK changes the heat-transfer constant of the edge between two
+// nodes. The edge may be named in either direction (heat edges are
+// undirected).
+func (s *Solver) SetHeatK(machine, a, b string, k units.WattsPerKelvin) error {
+	if k < 0 {
+		return fmt.Errorf("solver: negative heat constant %v", k)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	ia, ok := cm.index[a]
+	if !ok {
+		return &ErrUnknown{Kind: "node", Name: machine + "/" + a}
+	}
+	ib, ok := cm.index[b]
+	if !ok {
+		return &ErrUnknown{Kind: "node", Name: machine + "/" + b}
+	}
+	for i := range cm.heatEdges {
+		e := &cm.heatEdges[i]
+		if (e.a == ia && e.b == ib) || (e.a == ib && e.b == ia) {
+			e.k = float64(k)
+			return nil
+		}
+	}
+	return &ErrUnknown{Kind: "heat edge", Name: machine + "/" + a + "--" + b}
+}
+
+// HeatK returns the current heat-transfer constant between two nodes.
+func (s *Solver) HeatK(machine, a, b string) (units.WattsPerKelvin, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return 0, err
+	}
+	ia, okA := cm.index[a]
+	ib, okB := cm.index[b]
+	if !okA || !okB {
+		return 0, &ErrUnknown{Kind: "node", Name: machine + "/" + a + "--" + b}
+	}
+	for i := range cm.heatEdges {
+		e := &cm.heatEdges[i]
+		if (e.a == ia && e.b == ib) || (e.a == ib && e.b == ia) {
+			return units.WattsPerKelvin(e.k), nil
+		}
+	}
+	return 0, &ErrUnknown{Kind: "heat edge", Name: machine + "/" + a + "--" + b}
+}
+
+// SetAirFraction changes the split fraction of a directed air edge.
+// The caller is responsible for keeping per-node fractions summing to
+// 1 (fiddle scripts usually adjust complementary edges back to back);
+// flows are recompiled immediately. Section 2.2's discussion of
+// variable-speed fans relies on this hook.
+func (s *Solver) SetAirFraction(machine, from, to string, f units.Fraction) error {
+	if !f.Valid() {
+		return fmt.Errorf("solver: invalid air fraction %v", float64(f))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	for i := range cm.airEdges {
+		e := &cm.airEdges[i]
+		if e.From == from && e.To == to {
+			e.Fraction = f
+			return cm.recompileAirFlow()
+		}
+	}
+	return &ErrUnknown{Kind: "air edge", Name: machine + "/" + from + "->" + to}
+}
+
+// SetFanFlow changes a machine's fan throughput, emulating multi-speed
+// fans.
+func (s *Solver) SetFanFlow(machine string, flow units.CubicFeetPerMinute) error {
+	if flow <= 0 {
+		return fmt.Errorf("solver: non-positive fan flow %v", flow)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	cm.fanM3s = flow.CubicMetersPerSecond()
+	cm.nomCFM = flow
+	return nil
+}
+
+// FanFlow returns a machine's current nominal fan throughput.
+func (s *Solver) FanFlow(machine string) (units.CubicFeetPerMinute, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return 0, err
+	}
+	return cm.nomCFM, nil
+}
+
+// SetPowerScale scales a component's power draw by the given factor in
+// [0,1], emulating CPU-local thermal management (clock throttling or
+// voltage/frequency scaling, Section 4.3's comparison point).
+func (s *Solver) SetPowerScale(machine, component string, scale units.Fraction) error {
+	if !scale.Valid() {
+		return fmt.Errorf("solver: invalid power scale %v", float64(scale))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	idx, ok := cm.index[component]
+	if !ok {
+		return &ErrUnknown{Kind: "node", Name: machine + "/" + component}
+	}
+	ci, ok := cm.compOf[idx]
+	if !ok {
+		return &ErrUnknown{Kind: "component", Name: machine + "/" + component}
+	}
+	cm.comps[ci].powerScale = float64(scale)
+	return nil
+}
+
+// SetMachinePower turns a machine on or off. An off machine draws no
+// power and moves only natural-draft air; its components keep cooling
+// toward the inlet temperature. Freon-EC uses this for cluster
+// reconfiguration.
+func (s *Solver) SetMachinePower(machine string, on bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	cm.on = on
+	return nil
+}

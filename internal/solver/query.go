@@ -1,0 +1,207 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// ErrUnknown is wrapped by lookup failures so callers can distinguish
+// "no such machine/node" from transport errors.
+type ErrUnknown struct {
+	Kind, Name string
+}
+
+func (e *ErrUnknown) Error() string { return fmt.Sprintf("solver: unknown %s %q", e.Kind, e.Name) }
+
+func (s *Solver) machine(name string) (*compiledMachine, error) {
+	cm, ok := s.byName[name]
+	if !ok {
+		return nil, &ErrUnknown{Kind: "machine", Name: name}
+	}
+	return cm, nil
+}
+
+// Machines returns the machine names in compilation order.
+func (s *Solver) Machines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, len(s.machines))
+	for i, cm := range s.machines {
+		names[i] = cm.name
+	}
+	return names
+}
+
+// Nodes returns the sorted node names of a machine.
+func (s *Solver) Nodes(machine string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), cm.names...)
+	sort.Strings(names)
+	return names, nil
+}
+
+// Temperature returns the current emulated temperature of one node.
+// This is what the sensor library ultimately reads.
+func (s *Solver) Temperature(machine, node string) (units.Celsius, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return 0, err
+	}
+	idx, ok := cm.index[node]
+	if !ok {
+		return 0, &ErrUnknown{Kind: "node", Name: machine + "/" + node}
+	}
+	return units.Celsius(cm.temps[idx]), nil
+}
+
+// Temperatures returns a copy of all node temperatures of a machine.
+func (s *Solver) Temperatures(machine string) (map[string]units.Celsius, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]units.Celsius, len(cm.names))
+	for i, name := range cm.names {
+		out[name] = units.Celsius(cm.temps[i])
+	}
+	return out, nil
+}
+
+// InletTemperature returns the machine's effective inlet temperature
+// for the current step (pin, or room-level mix).
+func (s *Solver) InletTemperature(machine string) (units.Celsius, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return 0, err
+	}
+	return units.Celsius(cm.inletTemp), nil
+}
+
+// ExhaustTemperature returns the machine's flow-weighted exhaust mix.
+func (s *Solver) ExhaustTemperature(machine string) (units.Celsius, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return 0, err
+	}
+	return units.Celsius(cm.exhaustTemp), nil
+}
+
+// SetUtilization records the most recent utilization sample for one of
+// a machine's utilization streams; the next Step consumes it. This is
+// the entry point monitord updates feed into (Equation 4's
+// utilization).
+func (s *Solver) SetUtilization(machine string, src model.UtilSource, u units.Fraction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return err
+	}
+	if _, ok := cm.utils[src]; !ok {
+		return &ErrUnknown{Kind: "utilization source", Name: machine + "/" + string(src)}
+	}
+	cm.utils[src] = float64(u.Clamp())
+	return nil
+}
+
+// Utilization returns the last recorded utilization for a stream.
+func (s *Solver) Utilization(machine string, src model.UtilSource) (units.Fraction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return 0, err
+	}
+	u, ok := cm.utils[src]
+	if !ok {
+		return 0, &ErrUnknown{Kind: "utilization source", Name: machine + "/" + string(src)}
+	}
+	return units.Fraction(u), nil
+}
+
+// Power returns the machine's total power draw during the most recent
+// step (the sum of its components' draws; 0 when the machine is off).
+func (s *Solver) Power(machine string) (units.Watts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return 0, err
+	}
+	var w float64
+	for i := range cm.comps {
+		w += cm.comps[i].currentDraw
+	}
+	return units.Watts(w), nil
+}
+
+// Energy returns the machine's cumulative energy drawn since the
+// solver started. Freon-EC's evaluation uses this to report the energy
+// its reconfigurations save.
+func (s *Solver) Energy(machine string) (units.Joules, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return 0, err
+	}
+	return units.Joules(cm.energy), nil
+}
+
+// TotalEnergy returns the cluster-wide cumulative energy drawn.
+func (s *Solver) TotalEnergy() units.Joules {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var e float64
+	for _, cm := range s.machines {
+		e += cm.energy
+	}
+	return units.Joules(e)
+}
+
+// MachineOn reports whether the machine is powered on.
+func (s *Solver) MachineOn(machine string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return false, err
+	}
+	return cm.on, nil
+}
+
+// StepSize returns the emulated duration of one iteration.
+func (s *Solver) StepSize() time.Duration { return s.cfg.Step }
+
+// Snapshot captures every machine's node temperatures at once, keyed
+// by machine name. Used by experiment harnesses to record time series.
+func (s *Solver) Snapshot() map[string]map[string]units.Celsius {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[string]units.Celsius, len(s.machines))
+	for _, cm := range s.machines {
+		mt := make(map[string]units.Celsius, len(cm.names))
+		for i, name := range cm.names {
+			mt[name] = units.Celsius(cm.temps[i])
+		}
+		out[cm.name] = mt
+	}
+	return out
+}

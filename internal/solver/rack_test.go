@@ -1,0 +1,98 @@
+package solver
+
+import (
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+func TestRackClusterHotSpotsGrowWithHeight(t *testing.T) {
+	c, err := model.RackCluster("room", 2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range s.Machines() {
+		s.SetUtilization(m, model.UtilCPU, 0.6)
+		s.SetUtilization(m, model.UtilDisk, 0.2)
+	}
+	s.Run(4 * time.Hour)
+
+	// Within each rack, inlet and CPU temperatures rise with height.
+	for rack := 1; rack <= 2; rack++ {
+		var prevInlet, prevCPU float64 = -1e9, -1e9
+		for h := 1; h <= 4; h++ {
+			m := model.RackMachine(rack, h)
+			inlet := mustTemp(t, s, m, model.NodeInlet)
+			cpu := mustTemp(t, s, m, model.NodeCPU)
+			if inlet <= prevInlet || cpu <= prevCPU {
+				t.Errorf("rack %d height %d: inlet %v cpu %v not above the position below (%v, %v)",
+					rack, h, inlet, cpu, prevInlet, prevCPU)
+			}
+			prevInlet, prevCPU = inlet, cpu
+		}
+	}
+	// The bottom machines breathe pure AC air.
+	if inlet := mustTemp(t, s, model.RackMachine(1, 1), model.NodeInlet); inlet != 21.6 {
+		t.Errorf("bottom inlet = %v, want AC 21.6", inlet)
+	}
+	// The top-of-rack hot spot is substantial (the emergencies the
+	// paper's introduction lists).
+	top := mustTemp(t, s, model.RackMachine(1, 4), model.NodeCPU)
+	bottom := mustTemp(t, s, model.RackMachine(1, 1), model.NodeCPU)
+	if top-bottom < 1 {
+		t.Errorf("top-of-rack hot spot only %vC", top-bottom)
+	}
+	// Racks are symmetric.
+	if a, b := mustTemp(t, s, model.RackMachine(1, 3), model.NodeCPU),
+		mustTemp(t, s, model.RackMachine(2, 3), model.NodeCPU); a != b {
+		t.Errorf("racks asymmetric: %v vs %v", a, b)
+	}
+}
+
+func TestRackClusterValidation(t *testing.T) {
+	if _, err := model.RackCluster("room", 0, 4, nil); err == nil {
+		t.Error("0 racks: want error")
+	}
+	if _, err := model.RackCluster("room", 1, 0, nil); err == nil {
+		t.Error("0 per rack: want error")
+	}
+	if _, err := model.RackCluster("room", 1, 3, []units.Fraction{0.5}); err == nil {
+		t.Error("wrong recirc length: want error")
+	}
+	if _, err := model.RackCluster("room", 1, 2, []units.Fraction{1.0}); err == nil {
+		t.Error("recirc = 1: want error")
+	}
+	if _, err := model.RackCluster("room", 1, 2, []units.Fraction{-0.1}); err == nil {
+		t.Error("negative recirc: want error")
+	}
+	// Zero recirculation is legal and decouples heights.
+	c, err := model.RackCluster("room", 1, 3, []units.Fraction{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetUtilization(model.RackMachine(1, 1), model.UtilCPU, 1)
+	s.Run(time.Hour)
+	if inlet := mustTemp(t, s, model.RackMachine(1, 2), model.NodeInlet); inlet != 21.6 {
+		t.Errorf("decoupled rack leaked heat: inlet = %v", inlet)
+	}
+}
+
+func TestRackRegions(t *testing.T) {
+	regions := model.RackRegions(2, 3)
+	if len(regions) != 6 {
+		t.Fatalf("regions = %d entries", len(regions))
+	}
+	if regions[model.RackMachine(1, 2)] != 1 || regions[model.RackMachine(2, 3)] != 2 {
+		t.Errorf("region mapping wrong: %v", regions)
+	}
+}

@@ -1,0 +1,505 @@
+// Package solver implements the Mercury temperature solver: a
+// coarse-grained finite-element analyzer that advances component and
+// air-region temperatures in discrete time steps (Section 2.2 of the
+// paper). Each step performs three traversals:
+//
+//  1. inter-component heat flow over the undirected heat-flow graph
+//     (Newton's law of cooling plus component power dissipation),
+//  2. intra-machine air movement over the directed air-flow graph
+//     (flow-weighted perfect mixing plus heat pickup), and
+//  3. inter-machine air movement over the room-level graph (machine
+//     inlets mix air-conditioner supply and upstream exhausts).
+//
+// The solver is safe for concurrent use: the network daemon queries
+// temperatures and applies fiddle operations while a stepping loop
+// advances emulated time.
+package solver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/thermo"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// Config controls solver behaviour. The zero value selects the paper's
+// defaults (1-second iterations; everything starts at the inlet
+// temperature; machines that are switched off retain 10% of fan flow
+// as natural draft).
+type Config struct {
+	// Step is the emulated duration of one iteration. Default 1s.
+	Step time.Duration
+	// InitialTemp is the temperature every object and air region starts
+	// at. When nil, each machine starts at its inlet temperature.
+	InitialTemp *units.Celsius
+	// OffFanFraction is the share of nominal fan flow that still moves
+	// through a machine that is powered off (natural draft through the
+	// chassis). Must be in (0, 1]. Default 0.1.
+	OffFanFraction units.Fraction
+}
+
+func (c Config) withDefaults() Config {
+	if c.Step <= 0 {
+		c.Step = time.Second
+	}
+	if c.OffFanFraction <= 0 || c.OffFanFraction > 1 {
+		c.OffFanFraction = 0.1
+	}
+	return c
+}
+
+// roomEdgeKind distinguishes what feeds a machine's inlet.
+type roomEdgeKind int
+
+const (
+	fromSource roomEdgeKind = iota
+	fromMachine
+)
+
+// roomEdge is one compiled incoming room-level edge of a machine.
+type roomEdge struct {
+	kind roomEdgeKind
+	ref  int // index into sources or machines
+	frac float64
+}
+
+type airIn struct {
+	from int
+	frac float64
+}
+
+// coupleRef points an air node at one of its heat edges.
+type coupleRef struct {
+	edge  int
+	other int
+}
+
+type compiledComp struct {
+	node        int
+	invThermal  float64 // 1 / (m*c)
+	power       thermo.PowerModel
+	util        model.UtilSource
+	powerScale  float64 // fiddle CPU-throttle hook; 1 by default
+	currentDraw float64 // watts drawn last step (for Power queries)
+}
+
+type heatEdge struct {
+	a, b int
+	k    float64
+}
+
+type compiledMachine struct {
+	name    string
+	on      bool
+	fanM3s  float64 // nominal volumetric flow, m^3/s
+	nomCFM  units.CubicFeetPerMinute
+	names   []string
+	index   map[string]int
+	isAir   []bool
+	temps   []float64
+	scratch []float64 // snapshot buffer reused across steps
+	netQ    []float64 // heat accumulator reused across steps
+
+	comps     []compiledComp
+	compOf    map[int]int // node index -> comps index
+	heatEdges []heatEdge
+
+	airOrder []int
+	airIn    map[int][]airIn
+	// airCouple lists, per air node, the heat edges touching it (by
+	// index into heatEdges) and the node on the other side; the air
+	// traversal applies these exchanges implicitly.
+	airCouple  map[int][]coupleRef
+	relFlow    []float64
+	inletIdx   int
+	exhaustIdx []int
+
+	inletPin    *float64
+	inletTemp   float64 // effective inlet this step
+	exhaustTemp float64 // flow-weighted exhaust mix, updated each step
+
+	utils  map[model.UtilSource]float64
+	roomIn []roomEdge
+
+	energy float64 // cumulative joules drawn since start
+	// airEdges mirrors the model air edges so fractions can be fiddled
+	// and flows recompiled.
+	airEdges []model.AirEdge
+}
+
+type sourceState struct {
+	name   string
+	supply float64
+}
+
+// Solver advances a compiled cluster model through emulated time.
+type Solver struct {
+	mu       sync.Mutex
+	cfg      Config
+	machines []*compiledMachine
+	byName   map[string]*compiledMachine
+	sources  []*sourceState
+	srcIdx   map[string]int
+	now      time.Duration
+	steps    uint64
+}
+
+// New compiles a validated cluster into a Solver. The cluster is not
+// retained; later model mutations do not affect the solver (use the
+// fiddle methods instead).
+func New(c *model.Cluster, cfg Config) (*Solver, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Solver{
+		cfg:    cfg,
+		byName: map[string]*compiledMachine{},
+		srcIdx: map[string]int{},
+	}
+	for i, src := range c.Sources {
+		s.sources = append(s.sources, &sourceState{name: src.Name, supply: float64(src.SupplyTemp)})
+		s.srcIdx[src.Name] = i
+	}
+	midx := map[string]int{}
+	for i, m := range c.Machines {
+		cm, err := compileMachine(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.machines = append(s.machines, cm)
+		s.byName[m.Name] = cm
+		midx[m.Name] = i
+	}
+	for _, e := range c.Edges {
+		cm, ok := s.byName[e.To]
+		if !ok {
+			continue // edge into a sink
+		}
+		if si, ok := s.srcIdx[e.From]; ok {
+			cm.roomIn = append(cm.roomIn, roomEdge{kind: fromSource, ref: si, frac: float64(e.Fraction)})
+		} else if mi, ok := midx[e.From]; ok {
+			cm.roomIn = append(cm.roomIn, roomEdge{kind: fromMachine, ref: mi, frac: float64(e.Fraction)})
+		}
+	}
+	// Effective inlet temperatures for step 0 queries.
+	for _, cm := range s.machines {
+		cm.inletTemp = s.mixInlet(cm)
+		if cfg.InitialTemp != nil {
+			setAll(cm, float64(*cfg.InitialTemp))
+		} else {
+			setAll(cm, cm.inletTemp)
+		}
+		cm.exhaustTemp = cm.temps[cm.exhaustIdx[0]]
+	}
+	return s, nil
+}
+
+// NewSingle wraps a standalone machine in a minimal room (one source
+// named "room" supplying the machine's inlet temperature, one sink
+// named "room_exhaust") and compiles it. This is the convenient entry
+// point for single-server emulation, Section 3's validation setup.
+func NewSingle(m *model.Machine, cfg Config) (*Solver, error) {
+	c := &model.Cluster{
+		Name:     m.Name + "-room",
+		Machines: []*model.Machine{m},
+		Sources:  []model.ClusterSource{{Name: "room", SupplyTemp: m.InletTemp}},
+		Sinks:    []model.ClusterSink{{Name: "room_exhaust"}},
+		Edges: []model.ClusterEdge{
+			{From: "room", To: m.Name, Fraction: 1},
+			{From: m.Name, To: "room_exhaust", Fraction: 1},
+		},
+	}
+	return New(c, cfg)
+}
+
+func compileMachine(m *model.Machine, cfg Config) (*compiledMachine, error) {
+	cm := &compiledMachine{
+		name:   m.Name,
+		on:     true,
+		fanM3s: m.FanFlow.CubicMetersPerSecond(),
+		nomCFM: m.FanFlow,
+		index:  map[string]int{},
+		compOf: map[int]int{},
+		airIn:  map[int][]airIn{},
+		utils:  map[model.UtilSource]float64{},
+	}
+	add := func(name string, air bool) int {
+		idx := len(cm.names)
+		cm.names = append(cm.names, name)
+		cm.isAir = append(cm.isAir, air)
+		cm.index[name] = idx
+		return idx
+	}
+	for _, c := range m.Components {
+		idx := add(c.Name, false)
+		cm.compOf[idx] = len(cm.comps)
+		cm.comps = append(cm.comps, compiledComp{
+			node:       idx,
+			invThermal: 1 / float64(c.ThermalMass()),
+			power:      c.Power,
+			util:       c.Util,
+			powerScale: 1,
+		})
+		if c.Util != model.UtilNone {
+			cm.utils[c.Util] = 0
+		}
+	}
+	for _, a := range m.AirNodes {
+		idx := add(a.Name, true)
+		if a.Inlet {
+			cm.inletIdx = idx
+		}
+		if a.Exhaust {
+			cm.exhaustIdx = append(cm.exhaustIdx, idx)
+		}
+	}
+	for _, e := range m.HeatEdges {
+		cm.heatEdges = append(cm.heatEdges, heatEdge{a: cm.index[e.A], b: cm.index[e.B], k: float64(e.K)})
+	}
+	cm.airCouple = map[int][]coupleRef{}
+	for i, e := range cm.heatEdges {
+		if cm.isAir[e.a] {
+			cm.airCouple[e.a] = append(cm.airCouple[e.a], coupleRef{edge: i, other: e.b})
+		}
+		if cm.isAir[e.b] {
+			cm.airCouple[e.b] = append(cm.airCouple[e.b], coupleRef{edge: i, other: e.a})
+		}
+	}
+	order, err := m.AirTopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		cm.airOrder = append(cm.airOrder, cm.index[name])
+	}
+	cm.airEdges = append([]model.AirEdge(nil), m.AirEdges...)
+	cm.temps = make([]float64, len(cm.names))
+	cm.scratch = make([]float64, len(cm.names))
+	cm.netQ = make([]float64, len(cm.names))
+	cm.inletTemp = float64(m.InletTemp)
+	if err := cm.recompileAirFlow(); err != nil {
+		return nil, err
+	}
+	return cm, nil
+}
+
+// recompileAirFlow rebuilds incoming-edge lists and relative flows from
+// cm.airEdges. Called at compile time and after fiddle changes an air
+// fraction.
+func (cm *compiledMachine) recompileAirFlow() error {
+	cm.airIn = map[int][]airIn{}
+	rel := make([]float64, len(cm.names))
+	rel[cm.inletIdx] = 1
+	// airOrder is topological, so upstream flows are final before they
+	// are consumed downstream.
+	for _, n := range cm.airOrder {
+		for _, e := range cm.airEdges {
+			from, okF := cm.index[e.From]
+			to, okT := cm.index[e.To]
+			if !okF || !okT {
+				return fmt.Errorf("solver: machine %s: air edge %s->%s unknown", cm.name, e.From, e.To)
+			}
+			if from != n {
+				continue
+			}
+			rel[to] += rel[from] * float64(e.Fraction)
+		}
+	}
+	for _, e := range cm.airEdges {
+		from := cm.index[e.From]
+		to := cm.index[e.To]
+		cm.airIn[to] = append(cm.airIn[to], airIn{from: from, frac: float64(e.Fraction)})
+	}
+	cm.relFlow = rel
+	return nil
+}
+
+func setAll(cm *compiledMachine, t float64) {
+	for i := range cm.temps {
+		cm.temps[i] = t
+	}
+}
+
+// mixInlet computes a machine's effective inlet temperature from its
+// pin (if fiddled), otherwise as the fraction-weighted average of its
+// incoming room-level edges; machines contribute their previous-step
+// exhaust mix (one-step transport delay, which also makes recirculating
+// rooms well-defined).
+func (s *Solver) mixInlet(cm *compiledMachine) float64 {
+	if cm.inletPin != nil {
+		return *cm.inletPin
+	}
+	var wsum, tsum float64
+	for _, e := range cm.roomIn {
+		var t float64
+		switch e.kind {
+		case fromSource:
+			t = s.sources[e.ref].supply
+		case fromMachine:
+			t = s.machines[e.ref].exhaustTemp
+		}
+		wsum += e.frac
+		tsum += e.frac * t
+	}
+	if wsum == 0 {
+		return cm.inletTemp // isolated machine keeps its last inlet
+	}
+	return tsum / wsum
+}
+
+// Step advances the emulation by one configured time step.
+func (s *Solver) Step() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stepLocked()
+}
+
+// StepN advances the emulation by n steps.
+func (s *Solver) StepN(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		s.stepLocked()
+	}
+}
+
+// Run advances the emulation until at least d of emulated time has
+// elapsed from the current instant.
+func (s *Solver) Run(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	deadline := s.now + d
+	for s.now < deadline {
+		s.stepLocked()
+	}
+}
+
+// Now returns the emulated time elapsed since the solver started.
+func (s *Solver) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Steps returns the number of iterations performed so far.
+func (s *Solver) Steps() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+func (s *Solver) stepLocked() {
+	dt := s.cfg.Step.Seconds()
+
+	// Traversal 3 (inter-machine) first: fix every inlet from the
+	// previous step's exhaust mixes and the sources.
+	for _, cm := range s.machines {
+		cm.inletTemp = s.mixInlet(cm)
+	}
+
+	for _, cm := range s.machines {
+		stepMachine(cm, dt, s.cfg)
+	}
+
+	s.now += s.cfg.Step
+	s.steps++
+}
+
+// stepMachine performs heat-flow and intra-machine air-flow traversals
+// for one machine.
+func stepMachine(cm *compiledMachine, dt float64, cfg Config) {
+	snap := cm.scratch
+	copy(snap, cm.temps)
+	netQ := cm.netQ
+	for i := range netQ {
+		netQ[i] = 0
+	}
+
+	// Traversal 1: inter-component heat flow (Equations 1, 2, 3).
+	for _, e := range cm.heatEdges {
+		q := e.k * (snap[e.a] - snap[e.b]) * dt
+		netQ[e.a] -= q
+		netQ[e.b] += q
+	}
+	for i := range cm.comps {
+		c := &cm.comps[i]
+		draw := 0.0
+		if cm.on && c.power != nil {
+			u := units.Fraction(cm.utils[c.util]) // 0 for UtilNone
+			draw = float64(c.power.Power(u)) * c.powerScale
+		}
+		c.currentDraw = draw
+		netQ[c.node] += draw * dt
+		cm.energy += draw * dt
+	}
+	// Component temperature updates (Equation 5).
+	for i := range cm.comps {
+		c := &cm.comps[i]
+		cm.temps[c.node] = snap[c.node] + netQ[c.node]*c.invThermal
+	}
+
+	// Traversal 2: intra-machine air movement. Air regions are
+	// processed in topological order so each region mixes the
+	// temperatures its upstream regions just computed. Heat exchange
+	// with coupled nodes is applied implicitly: the energy balance of
+	// the air parcel crossing the region,
+	//
+	//	F (T_out - T_mix) = sum_j k_j (T_j - T_out)
+	//
+	// with F the heat-capacity flow rho*c*flow (W/K), gives
+	//
+	//	T_out = (F T_mix + sum_j k_j T_j) / (F + sum_j k_j),
+	//
+	// a convex combination of the mix and the coupled temperatures —
+	// unconditionally stable even at the small natural-draft flows of
+	// powered-off machines, where the explicit form diverges. It is
+	// also exactly the air equation of the analytic steady state.
+	fan := cm.fanM3s
+	if !cm.on {
+		fan *= float64(cfg.OffFanFraction)
+	}
+	for _, n := range cm.airOrder {
+		if n == cm.inletIdx {
+			cm.temps[n] = cm.inletTemp
+			continue
+		}
+		ins := cm.airIn[n]
+		var wsum, tsum float64
+		for _, in := range ins {
+			w := in.frac * cm.relFlow[in.from]
+			wsum += w
+			tsum += w * cm.temps[in.from]
+		}
+		mix := snap[n] // stagnant region keeps its old temperature
+		if wsum > 0 {
+			mix = tsum / wsum
+		}
+		F := units.AirDensity * cm.relFlow[n] * fan * float64(units.AirSpecificHeat)
+		var kSum, kT float64
+		for _, e := range cm.airCouple[n] {
+			k := cm.heatEdges[e.edge].k
+			kSum += k
+			kT += k * cm.temps[e.other]
+		}
+		if F+kSum > 0 {
+			cm.temps[n] = (F*mix + kT) / (F + kSum)
+		} else {
+			cm.temps[n] = mix
+		}
+	}
+
+	// Exhaust mix for the room-level traversal of the next step.
+	var wsum, tsum float64
+	for _, x := range cm.exhaustIdx {
+		w := cm.relFlow[x]
+		wsum += w
+		tsum += w * cm.temps[x]
+	}
+	if wsum > 0 {
+		cm.exhaustTemp = tsum / wsum
+	}
+}

@@ -1,0 +1,216 @@
+package solver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// State is a complete snapshot of a solver's mutable state: node
+// temperatures, utilizations, power/fan/pin settings, fiddled
+// constants, and time bookkeeping. Together with the (immutable) model
+// description it allows checkpoint/restore of long experiments and
+// bit-exact continuation across processes. It serializes to JSON.
+type State struct {
+	Now      time.Duration            `json:"now_ns"`
+	Steps    uint64                   `json:"steps"`
+	Sources  map[string]units.Celsius `json:"sources"`
+	Machines map[string]MachineState  `json:"machines"`
+}
+
+// MachineState is one machine's slice of a State.
+type MachineState struct {
+	On           bool                                `json:"on"`
+	Temps        map[string]units.Celsius            `json:"temps"`
+	Utils        map[model.UtilSource]units.Fraction `json:"utils"`
+	InletPinned  bool                                `json:"inlet_pinned"`
+	InletPin     units.Celsius                       `json:"inlet_pin,omitempty"`
+	FanFlow      units.CubicFeetPerMinute            `json:"fan_flow"`
+	Energy       units.Joules                        `json:"energy"`
+	ExhaustTemp  units.Celsius                       `json:"exhaust_temp"`
+	PowerScales  map[string]units.Fraction           `json:"power_scales,omitempty"`
+	HeatKs       map[string]units.WattsPerKelvin     `json:"heat_ks"`
+	AirFractions map[string]units.Fraction           `json:"air_fractions"`
+}
+
+// edgeKey builds the stable map key for an edge between two node
+// names.
+func edgeKey(a, b string) string { return a + "|" + b }
+
+// SaveState captures the solver's current state.
+func (s *Solver) SaveState() *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &State{
+		Now:      s.now,
+		Steps:    s.steps,
+		Sources:  map[string]units.Celsius{},
+		Machines: map[string]MachineState{},
+	}
+	for _, src := range s.sources {
+		st.Sources[src.name] = units.Celsius(src.supply)
+	}
+	for _, cm := range s.machines {
+		ms := MachineState{
+			On:           cm.on,
+			Temps:        map[string]units.Celsius{},
+			Utils:        map[model.UtilSource]units.Fraction{},
+			FanFlow:      cm.nomCFM,
+			Energy:       units.Joules(cm.energy),
+			ExhaustTemp:  units.Celsius(cm.exhaustTemp),
+			HeatKs:       map[string]units.WattsPerKelvin{},
+			AirFractions: map[string]units.Fraction{},
+		}
+		for i, name := range cm.names {
+			ms.Temps[name] = units.Celsius(cm.temps[i])
+		}
+		for src, u := range cm.utils {
+			ms.Utils[src] = units.Fraction(u)
+		}
+		if cm.inletPin != nil {
+			ms.InletPinned = true
+			ms.InletPin = units.Celsius(*cm.inletPin)
+		}
+		for i := range cm.comps {
+			c := &cm.comps[i]
+			if c.powerScale != 1 {
+				if ms.PowerScales == nil {
+					ms.PowerScales = map[string]units.Fraction{}
+				}
+				ms.PowerScales[cm.names[c.node]] = units.Fraction(c.powerScale)
+			}
+		}
+		for _, e := range cm.heatEdges {
+			ms.HeatKs[edgeKey(cm.names[e.a], cm.names[e.b])] = units.WattsPerKelvin(e.k)
+		}
+		for _, e := range cm.airEdges {
+			ms.AirFractions[edgeKey(e.From, e.To)] = e.Fraction
+		}
+		st.Machines[cm.name] = ms
+	}
+	return st
+}
+
+// RestoreState applies a snapshot to a solver compiled from the same
+// model topology: every machine, node, edge, and utilization source in
+// the state must exist in the solver. On success the solver continues
+// exactly where the snapshot left off.
+func (s *Solver) RestoreState(st *State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate topology first so a mismatch leaves the solver intact.
+	for name := range st.Sources {
+		if _, ok := s.srcIdx[name]; !ok {
+			return fmt.Errorf("solver: restore: unknown source %q", name)
+		}
+	}
+	for mname, ms := range st.Machines {
+		cm, ok := s.byName[mname]
+		if !ok {
+			return fmt.Errorf("solver: restore: unknown machine %q", mname)
+		}
+		if len(ms.Temps) != len(cm.names) {
+			return fmt.Errorf("solver: restore: machine %q has %d nodes, snapshot has %d",
+				mname, len(cm.names), len(ms.Temps))
+		}
+		for node, temp := range ms.Temps {
+			if _, ok := cm.index[node]; !ok {
+				return fmt.Errorf("solver: restore: machine %q has no node %q", mname, node)
+			}
+			if !temp.Valid() {
+				return fmt.Errorf("solver: restore: invalid temperature %v for %s/%s", temp, mname, node)
+			}
+		}
+		for src := range ms.Utils {
+			if _, ok := cm.utils[src]; !ok {
+				return fmt.Errorf("solver: restore: machine %q has no utilization source %q", mname, src)
+			}
+		}
+	}
+
+	s.now = st.Now
+	s.steps = st.Steps
+	for name, temp := range st.Sources {
+		s.sources[s.srcIdx[name]].supply = float64(temp)
+	}
+	for mname, ms := range st.Machines {
+		cm := s.byName[mname]
+		cm.on = ms.On
+		for node, temp := range ms.Temps {
+			cm.temps[cm.index[node]] = float64(temp)
+		}
+		for src, u := range ms.Utils {
+			cm.utils[src] = float64(u.Clamp())
+		}
+		if ms.InletPinned {
+			v := float64(ms.InletPin)
+			cm.inletPin = &v
+			cm.inletTemp = v
+		} else {
+			cm.inletPin = nil
+		}
+		if ms.FanFlow > 0 {
+			cm.nomCFM = ms.FanFlow
+			cm.fanM3s = ms.FanFlow.CubicMetersPerSecond()
+		}
+		cm.energy = float64(ms.Energy)
+		cm.exhaustTemp = float64(ms.ExhaustTemp)
+		for i := range cm.comps {
+			cm.comps[i].powerScale = 1
+		}
+		for node, scale := range ms.PowerScales {
+			idx, ok := cm.index[node]
+			if !ok {
+				continue
+			}
+			if ci, ok := cm.compOf[idx]; ok {
+				cm.comps[ci].powerScale = float64(scale.Clamp())
+			}
+		}
+		for key, k := range ms.HeatKs {
+			for i := range cm.heatEdges {
+				e := &cm.heatEdges[i]
+				if edgeKey(cm.names[e.a], cm.names[e.b]) == key {
+					e.k = float64(k)
+				}
+			}
+		}
+		changedAir := false
+		for key, f := range ms.AirFractions {
+			for i := range cm.airEdges {
+				e := &cm.airEdges[i]
+				if edgeKey(e.From, e.To) == key && e.Fraction != f {
+					e.Fraction = f
+					changedAir = true
+				}
+			}
+		}
+		if changedAir {
+			if err := cm.recompileAirFlow(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteState serializes a snapshot as indented JSON.
+func WriteState(w io.Writer, st *State) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// ReadState parses a snapshot.
+func ReadState(r io.Reader) (*State, error) {
+	st := &State{}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(st); err != nil {
+		return nil, fmt.Errorf("solver: state: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,172 @@
+package solver
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// preparedSolver runs a solver into an interesting mid-experiment
+// state: load, an inlet pin, a fiddled k, a throttle, a fan change,
+// and an off machine.
+func preparedSolver(t *testing.T) *Solver {
+	t.Helper()
+	s := newClusterSolver(t, 2, Config{})
+	s.SetUtilization("machine1", model.UtilCPU, 0.8)
+	s.SetUtilization("machine1", model.UtilDisk, 0.2)
+	s.StepN(600)
+	s.PinInlet("machine1", 35)
+	s.SetHeatK("machine1", model.NodeCPU, model.NodeCPUAir, 1.1)
+	s.SetPowerScale("machine1", model.NodeCPU, 0.8)
+	s.SetFanFlow("machine1", 50)
+	s.SetAirFraction("machine1", model.NodeInlet, model.NodeDiskAir, 0.35)
+	s.SetAirFraction("machine1", model.NodeInlet, model.NodeVoidAir, 0.15)
+	s.SetMachinePower("machine2", false)
+	s.SetSourceTemperature(model.NodeAC, 23)
+	s.StepN(600)
+	return s
+}
+
+func TestStateRoundTripContinuesIdentically(t *testing.T) {
+	orig := preparedSolver(t)
+	st := orig.SaveState()
+
+	// Serialize through JSON to prove the on-disk format carries
+	// everything.
+	var buf bytes.Buffer
+	if err := WriteState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newClusterSolver(t, 2, Config{})
+	if err := restored.RestoreState(parsed); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Now() != orig.Now() || restored.Steps() != orig.Steps() {
+		t.Errorf("time bookkeeping: %v/%d vs %v/%d",
+			restored.Now(), restored.Steps(), orig.Now(), orig.Steps())
+	}
+	// Both continue for an hour: trajectories must match exactly.
+	orig.Run(time.Hour)
+	restored.Run(time.Hour)
+	for _, m := range orig.Machines() {
+		a, err := orig.Temperatures(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Temperatures(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node, temp := range a {
+			if b[node] != temp {
+				t.Errorf("%s/%s diverged: %v vs %v", m, node, temp, b[node])
+			}
+		}
+		ea, _ := orig.Energy(m)
+		eb, _ := restored.Energy(m)
+		if ea != eb {
+			t.Errorf("%s energy diverged: %v vs %v", m, ea, eb)
+		}
+	}
+	if on, _ := restored.MachineOn("machine2"); on {
+		t.Error("machine2 power state lost")
+	}
+	if pinned, temp, _ := restored.InletPinned("machine1"); !pinned || temp != 35 {
+		t.Errorf("pin lost: %v %v", pinned, temp)
+	}
+	if k, _ := restored.HeatK("machine1", model.NodeCPU, model.NodeCPUAir); k != 1.1 {
+		t.Errorf("fiddled k lost: %v", k)
+	}
+	if f, _ := restored.FanFlow("machine1"); f != 50 {
+		t.Errorf("fan flow lost: %v", f)
+	}
+	if src, _ := restored.SourceTemperature(model.NodeAC); src != 23 {
+		t.Errorf("source temp lost: %v", src)
+	}
+}
+
+func TestRestoreRejectsMismatchedTopology(t *testing.T) {
+	orig := preparedSolver(t)
+	st := orig.SaveState()
+
+	// Wrong machine count.
+	other := newClusterSolver(t, 3, Config{})
+	if err := other.RestoreState(st); err != nil {
+		t.Fatalf("restore into superset cluster should work machine-wise? got %v", err)
+	}
+
+	// Unknown machine in state.
+	small, err := NewSingle(model.DefaultServer("solo"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.RestoreState(st); err == nil {
+		t.Error("restore with unknown machines: want error")
+	}
+
+	// Unknown node.
+	bad := orig.SaveState()
+	ms := bad.Machines["machine1"]
+	delete(ms.Temps, model.NodeCPU)
+	ms.Temps["ghost"] = 30
+	bad.Machines["machine1"] = ms
+	fresh := newClusterSolver(t, 2, Config{})
+	if err := fresh.RestoreState(bad); err == nil {
+		t.Error("restore with unknown node: want error")
+	}
+
+	// Invalid temperature.
+	bad2 := orig.SaveState()
+	ms2 := bad2.Machines["machine1"]
+	ms2.Temps[model.NodeCPU] = -400
+	bad2.Machines["machine1"] = ms2
+	if err := fresh.RestoreState(bad2); err == nil {
+		t.Error("restore with invalid temperature: want error")
+	}
+
+	// Unknown source.
+	bad3 := orig.SaveState()
+	bad3.Sources["ghost_ac"] = 20
+	if err := fresh.RestoreState(bad3); err == nil {
+		t.Error("restore with unknown source: want error")
+	}
+
+	// Unknown utilization source.
+	bad4 := orig.SaveState()
+	ms4 := bad4.Machines["machine1"]
+	ms4.Utils[model.UtilNet] = 0.5
+	bad4.Machines["machine1"] = ms4
+	if err := fresh.RestoreState(bad4); err == nil {
+		t.Error("restore with unknown utilization source: want error")
+	}
+}
+
+func TestReadStateRejectsGarbage(t *testing.T) {
+	if _, err := ReadState(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage input: want error")
+	}
+}
+
+func TestStateUtilsClampedOnRestore(t *testing.T) {
+	orig := preparedSolver(t)
+	st := orig.SaveState()
+	ms := st.Machines["machine1"]
+	ms.Utils[model.UtilCPU] = units.Fraction(3.0)
+	st.Machines["machine1"] = ms
+	fresh := newClusterSolver(t, 2, Config{})
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if u, _ := fresh.Utilization("machine1", model.UtilCPU); u != 1 {
+		t.Errorf("restored util = %v, want clamped 1", u)
+	}
+}

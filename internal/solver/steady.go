@@ -1,0 +1,171 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/darklab/mercury/internal/units"
+)
+
+// SteadyState returns the machine's steady-state temperatures under
+// its current utilizations, fan flow, pins, and power state, without
+// advancing emulated time. The steady state is the fixed point of the
+// per-step update equations, which is linear in the node temperatures:
+//
+//	components:  sum_j k_ij (T_j - T_i) + P_i = 0
+//	air regions: T_a = mix(upstream) + sum_j k_aj (T_j - T_a) / F_a
+//	inlet:       T = effective inlet temperature
+//
+// where F_a is the heat capacity flow (rho * c * volumetric flow)
+// through region a. The small dense system is solved by Gaussian
+// elimination with partial pivoting. Fluent-style steady-state
+// comparisons (Section 3.2) and calibration sweeps use this instead of
+// stepping through hours of emulated time.
+//
+// SteadyState requires the machine's room inputs to be fixed: it uses
+// the machine's current effective inlet temperature, so in clusters
+// with recirculation it reflects the present upstream exhausts, not a
+// whole-room fixed point.
+func (s *Solver) SteadyState(machine string) (map[string]units.Celsius, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cm, err := s.machine(machine)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(cm.names)
+	// A x = b
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+	}
+	b := make([]float64, n)
+
+	inlet := s.mixInlet(cm)
+	fan := cm.fanM3s
+	if !cm.on {
+		fan *= float64(s.cfg.OffFanFraction)
+	}
+
+	// Heat-edge coupling contributes to both component and air rows.
+	type coupling struct {
+		j int
+		k float64
+	}
+	couplings := make([][]coupling, n)
+	for _, e := range cm.heatEdges {
+		couplings[e.a] = append(couplings[e.a], coupling{j: e.b, k: e.k})
+		couplings[e.b] = append(couplings[e.b], coupling{j: e.a, k: e.k})
+	}
+
+	isComp := make([]bool, n)
+	power := make([]float64, n)
+	for i := range cm.comps {
+		c := &cm.comps[i]
+		isComp[c.node] = true
+		if cm.on && c.power != nil {
+			u := units.Fraction(cm.utils[c.util])
+			power[c.node] = float64(c.power.Power(u)) * c.powerScale
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		switch {
+		case isComp[i]:
+			// sum_j k (T_j - T_i) + P = 0
+			for _, cpl := range couplings[i] {
+				A[i][i] += cpl.k
+				A[i][cpl.j] -= cpl.k
+			}
+			b[i] = power[i]
+			if len(couplings[i]) == 0 {
+				// An isolated component never sheds heat; its steady
+				// temperature is undefined unless it draws no power.
+				if power[i] != 0 {
+					return nil, fmt.Errorf("solver: component %q has power but no heat edges", cm.names[i])
+				}
+				A[i][i] = 1
+				b[i] = inlet
+			}
+		case i == cm.inletIdx:
+			A[i][i] = 1
+			b[i] = inlet
+		default:
+			// Air region: T_a - mix - sum k (T_j - T_a)/F = 0.
+			var wsum float64
+			for _, in := range cm.airIn[i] {
+				wsum += in.frac * cm.relFlow[in.from]
+			}
+			A[i][i] = 1
+			if wsum > 0 {
+				for _, in := range cm.airIn[i] {
+					A[i][in.from] -= in.frac * cm.relFlow[in.from] / wsum
+				}
+			}
+			F := units.AirDensity * cm.relFlow[i] * fan * float64(units.AirSpecificHeat)
+			if F > 0 {
+				for _, cpl := range couplings[i] {
+					A[i][i] += cpl.k / F
+					A[i][cpl.j] -= cpl.k / F
+				}
+			}
+			b[i] = 0
+			if wsum == 0 && len(couplings[i]) == 0 {
+				// Stagnant, uncoupled region: pin to inlet.
+				b[i] = inlet
+			}
+		}
+	}
+
+	x, err := solveLinear(A, b)
+	if err != nil {
+		return nil, fmt.Errorf("solver: steady state of %s: %w", machine, err)
+	}
+	out := make(map[string]units.Celsius, n)
+	for i, name := range cm.names {
+		out[name] = units.Celsius(x[i])
+	}
+	return out, nil
+}
+
+// solveLinear performs in-place Gaussian elimination with partial
+// pivoting on the dense system A x = b.
+func solveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(A[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(A[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= A[r][c] * x[c]
+		}
+		x[r] = sum / A[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,145 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+)
+
+func TestSteadyStateMatchesLongRun(t *testing.T) {
+	s := newTestSolver(t, Config{})
+	s.SetUtilization("m1", model.UtilCPU, 0.7)
+	s.SetUtilization("m1", model.UtilDisk, 0.4)
+	steady, err := s.SteadyState("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(12 * time.Hour)
+	for node, want := range steady {
+		got := mustTemp(t, s, "m1", node)
+		if math.Abs(got-float64(want)) > 0.01 {
+			t.Errorf("%s: analytic %v vs long-run %v", node, want, got)
+		}
+	}
+}
+
+func TestSteadyStateRespectsPin(t *testing.T) {
+	s := newTestSolver(t, Config{})
+	s.PinInlet("m1", 38.6)
+	steady, err := s.SteadyState("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steady[model.NodeInlet] != 38.6 {
+		t.Errorf("inlet = %v", steady[model.NodeInlet])
+	}
+}
+
+func TestSteadyStateOffMachine(t *testing.T) {
+	s := newTestSolver(t, Config{})
+	s.SetUtilization("m1", model.UtilCPU, 1)
+	s.SetMachinePower("m1", false)
+	steady, err := s.SteadyState("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No power: everything relaxes to the inlet temperature.
+	for node, temp := range steady {
+		if math.Abs(float64(temp)-21.6) > 1e-6 {
+			t.Errorf("off machine steady %s = %v, want 21.6", node, temp)
+		}
+	}
+}
+
+func TestSteadyStateThrottleOrdering(t *testing.T) {
+	full := newTestSolver(t, Config{})
+	full.SetUtilization("m1", model.UtilCPU, 1)
+	half := newTestSolver(t, Config{})
+	half.SetUtilization("m1", model.UtilCPU, 1)
+	half.SetPowerScale("m1", model.NodeCPU, 0.5)
+	fs, err := full.SteadyState("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := half.SteadyState("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[model.NodeCPU] >= fs[model.NodeCPU] {
+		t.Errorf("throttled steady %v not cooler than full %v", hs[model.NodeCPU], fs[model.NodeCPU])
+	}
+}
+
+func TestSteadyStateUnknownMachine(t *testing.T) {
+	s := newTestSolver(t, Config{})
+	if _, err := s.SteadyState("ghost"); err == nil {
+		t.Error("unknown machine: want error")
+	}
+}
+
+func TestSteadyStateIsolatedPoweredComponent(t *testing.T) {
+	m := model.DefaultServer("m1")
+	// Strip the CPU's heat edges: a powered component with no way to
+	// shed heat has no steady state.
+	var kept []model.HeatEdge
+	for _, e := range m.HeatEdges {
+		if e.A != model.NodeCPU && e.B != model.NodeCPU {
+			kept = append(kept, e)
+		}
+	}
+	m.HeatEdges = kept
+	s, err := NewSingle(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetUtilization("m1", model.UtilCPU, 1)
+	if _, err := s.SteadyState("m1"); err == nil {
+		t.Error("isolated powered component: want error")
+	}
+	// With zero utilization the CPU still draws its 7 W base: error.
+	s.SetUtilization("m1", model.UtilCPU, 0)
+	if _, err := s.SteadyState("m1"); err == nil {
+		t.Error("isolated component with base power: want error")
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	A := [][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 2},
+	}
+	b := []float64{5, 10, 7}
+	x, err := solveLinear(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify by substitution into the original system.
+	orig := [][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 2},
+	}
+	rhs := []float64{5, 10, 7}
+	for i := range orig {
+		var sum float64
+		for j := range x {
+			sum += orig[i][j] * x[j]
+		}
+		if math.Abs(sum-rhs[i]) > 1e-9 {
+			t.Errorf("row %d: Ax = %v, want %v", i, sum, rhs[i])
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	A := [][]float64{
+		{1, 1},
+		{2, 2},
+	}
+	if _, err := solveLinear(A, []float64{1, 2}); err == nil {
+		t.Error("singular system: want error")
+	}
+}

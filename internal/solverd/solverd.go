@@ -1,0 +1,253 @@
+// Package solverd wraps a solver in Mercury's UDP protocol: it accepts
+// utilization updates from monitord instances, serves emulated sensor
+// reads to the sensor library, and applies fiddle operations — the
+// on-line mode of Figure 2 where "the applications or system software
+// can query the solver for temperatures".
+package solverd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/darklab/mercury/internal/fiddle"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/wire"
+)
+
+// Stats counts the daemon's traffic; all fields are updated
+// atomically and safe to read while serving.
+type Stats struct {
+	UtilUpdates  atomic.Uint64
+	SensorReads  atomic.Uint64
+	FiddleOps    atomic.Uint64
+	ListRequests atomic.Uint64
+	Malformed    atomic.Uint64
+}
+
+// Server is a running solver daemon.
+type Server struct {
+	sol   *solver.Solver
+	conn  *net.UDPConn
+	stats Stats
+
+	mu      sync.Mutex
+	lastSeq map[string]uint32
+
+	stopTick chan struct{}
+	tickWG   sync.WaitGroup
+	tickOnce sync.Once
+}
+
+// Listen binds a UDP socket (addr like "127.0.0.1:8367"; port 0 picks
+// a free port) and returns a Server ready to Serve.
+func Listen(addr string, sol *solver.Solver) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("solverd: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("solverd: %w", err)
+	}
+	return &Server{
+		sol:      sol,
+		conn:     conn,
+		lastSeq:  map[string]uint32{},
+		stopTick: make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the daemon's bound address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats exposes the daemon's counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Solver returns the wrapped solver (for co-located stepping loops).
+func (s *Server) Solver() *solver.Solver { return s.sol }
+
+// StartTicker advances the solver in real time, one Step every
+// solver step interval, until Close. Offline/experiment use drives the
+// solver directly instead.
+func (s *Server) StartTicker() {
+	s.tickWG.Add(1)
+	go func() {
+		defer s.tickWG.Done()
+		t := time.NewTicker(s.sol.StepSize())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.sol.Step()
+			case <-s.stopTick:
+				return
+			}
+		}
+	}()
+}
+
+// Serve processes datagrams until Close. It returns nil after a clean
+// Close.
+func (s *Server) Serve() error {
+	buf := make([]byte, 2048)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("solverd: %w", err)
+		}
+		s.handle(buf[:n], peer)
+	}
+}
+
+// Close shuts the daemon down: the ticker stops and Serve returns.
+func (s *Server) Close() error {
+	s.tickOnce.Do(func() { close(s.stopTick) })
+	s.tickWG.Wait()
+	return s.conn.Close()
+}
+
+// LastSeq returns the highest utilization-update sequence number seen
+// from a machine's monitord (0 if none).
+func (s *Server) LastSeq(machine string) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq[machine]
+}
+
+func (s *Server) handle(buf []byte, peer *net.UDPAddr) {
+	typ, err := wire.Type(buf)
+	if err != nil {
+		s.stats.Malformed.Add(1)
+		return
+	}
+	switch typ {
+	case wire.MsgUtilUpdate:
+		s.handleUtil(buf)
+	case wire.MsgSensorRead:
+		s.reply(peer, s.handleSensor(buf))
+	case wire.MsgFiddleOp:
+		s.reply(peer, s.handleFiddle(buf))
+	case wire.MsgListNodes:
+		s.reply(peer, s.handleList(buf))
+	default:
+		s.stats.Malformed.Add(1)
+	}
+}
+
+func (s *Server) reply(peer *net.UDPAddr, buf []byte) {
+	if buf == nil {
+		return
+	}
+	// Replies are best-effort; UDP clients time out and retry.
+	_, _ = s.conn.WriteToUDP(buf, peer)
+}
+
+func (s *Server) handleUtil(buf []byte) {
+	u, err := wire.UnmarshalUtilUpdate(buf)
+	if err != nil {
+		s.stats.Malformed.Add(1)
+		return
+	}
+	s.mu.Lock()
+	last, seen := s.lastSeq[u.Machine]
+	// Drop stale reordered datagrams, but accept wraparound restarts.
+	stale := seen && u.Seq <= last && last-u.Seq < 1<<30
+	if !stale {
+		s.lastSeq[u.Machine] = u.Seq
+	}
+	s.mu.Unlock()
+	if stale {
+		return
+	}
+	for _, e := range u.Entries {
+		// Unknown machines/sources are counted but otherwise ignored:
+		// monitord may legitimately report streams the model does not
+		// use (e.g. network utilization on a machine with no NIC node).
+		if err := s.sol.SetUtilization(u.Machine, e.Source, e.Util); err != nil {
+			s.stats.Malformed.Add(1)
+		}
+	}
+	s.stats.UtilUpdates.Add(1)
+}
+
+func (s *Server) handleSensor(buf []byte) []byte {
+	req, err := wire.UnmarshalSensorRead(buf)
+	if err != nil {
+		s.stats.Malformed.Add(1)
+		return nil
+	}
+	s.stats.SensorReads.Add(1)
+	rep := &wire.SensorReply{Status: wire.StatusOK}
+	temp, err := s.sol.Temperature(req.Machine, req.Node)
+	if err != nil {
+		rep.Status = wire.StatusUnknown
+		rep.Message = err.Error()
+	} else {
+		rep.Temp = temp
+	}
+	out, err := wire.MarshalSensorReply(rep)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func (s *Server) handleFiddle(buf []byte) []byte {
+	op, err := wire.UnmarshalFiddleOp(buf)
+	if err != nil {
+		s.stats.Malformed.Add(1)
+		return nil
+	}
+	s.stats.FiddleOps.Add(1)
+	rep := &wire.FiddleReply{Status: wire.StatusOK}
+	if err := fiddle.Apply(s.sol, op); err != nil {
+		var unk *solver.ErrUnknown
+		if errors.As(err, &unk) {
+			rep.Status = wire.StatusUnknown
+		} else {
+			rep.Status = wire.StatusBadOp
+		}
+		rep.Message = err.Error()
+	}
+	out, err := wire.MarshalFiddleReply(rep)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func (s *Server) handleList(buf []byte) []byte {
+	req, err := wire.UnmarshalListNodes(buf)
+	if err != nil {
+		s.stats.Malformed.Add(1)
+		return nil
+	}
+	s.stats.ListRequests.Add(1)
+	rep := &wire.ListReply{Status: wire.StatusOK}
+	if req.Machine == "" {
+		rep.Names = s.sol.Machines()
+	} else {
+		names, err := s.sol.Nodes(req.Machine)
+		if err != nil {
+			rep.Status = wire.StatusUnknown
+		} else {
+			rep.Names = names
+		}
+	}
+	out, err := wire.MarshalListReply(rep)
+	if err != nil {
+		// Too many nodes for one datagram; report as a bad op.
+		out, err = wire.MarshalListReply(&wire.ListReply{Status: wire.StatusBadOp})
+		if err != nil {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Chart renders one or more series as an ASCII line chart, the
+// harness's stand-in for the paper's figures. Each series gets a
+// distinct glyph; axes are labeled with the value range and the time
+// range. Series are downsampled to the chart width by averaging.
+type Chart struct {
+	Title  string
+	Width  int // plot columns; default 72
+	Height int // plot rows; default 16
+	YLabel string
+	Series []*Series
+}
+
+var chartGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	var t0, t1 time.Duration = 1<<62 - 1, 0
+	for _, s := range c.Series {
+		if s.Len() == 0 {
+			continue
+		}
+		lo = math.Min(lo, s.Min())
+		hi = math.Max(hi, s.Max())
+		if s.Points[0].At < t0 {
+			t0 = s.Points[0].At
+		}
+		if s.Points[s.Len()-1].At > t1 {
+			t1 = s.Points[s.Len()-1].At
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return b.String() + "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	for si, s := range c.Series {
+		glyph := chartGlyphs[si%len(chartGlyphs)]
+		for col := 0; col < width; col++ {
+			at := t0 + time.Duration(float64(span)*float64(col)/float64(width-1))
+			v := s.At(at)
+			if math.IsNaN(v) {
+				continue
+			}
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+	yTop := fmt.Sprintf("%8.2f", hi)
+	yBot := fmt.Sprintf("%8.2f", lo)
+	for i, row := range grid {
+		label := strings.Repeat(" ", 8)
+		switch i {
+		case 0:
+			label = yTop
+		case height - 1:
+			label = yBot
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-12s%s%12s\n", strings.Repeat(" ", 8),
+		fmtDur(t0), strings.Repeat(" ", max(0, width-24)), fmtDur(t1))
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", chartGlyphs[si%len(chartGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%gs", d.Seconds())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders aligned plain-text tables, the stand-in for the
+// paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case float32:
+			row[i] = trimFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Render draws the table.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		cells := make([]string, cols)
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			cells[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(cells, " | "))
+	}
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		fmt.Fprintf(&b, "|-%s-|\n", strings.Join(sep, "-|-"))
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values for downstream
+// plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(row []string) {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			parts[i] = esc(c)
+		}
+		b.WriteString(strings.Join(parts, ","))
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/units"
+)
+
+func testPerfModel(t *testing.T) *PerfCounterModel {
+	t.Helper()
+	m, err := NewPerfCounterModel(
+		EventCosts{"uops": 10e-9, "l2_miss": 50e-9},
+		7,
+		Linear{PBase: 7, PMax: 31},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPerfCounterValidation(t *testing.T) {
+	if _, err := NewPerfCounterModel(nil, 7, Linear{7, 31}); err == nil {
+		t.Error("empty costs: want error")
+	}
+	if _, err := NewPerfCounterModel(EventCosts{"x": -1}, 7, Linear{7, 31}); err == nil {
+		t.Error("negative cost: want error")
+	}
+	if _, err := NewPerfCounterModel(EventCosts{"x": 1}, -7, Linear{7, 31}); err == nil {
+		t.Error("negative idle: want error")
+	}
+	if _, err := NewPerfCounterModel(EventCosts{"x": 1}, 7, Linear{31, 31}); err == nil {
+		t.Error("degenerate range: want error")
+	}
+}
+
+func TestPerfCounterIdle(t *testing.T) {
+	m := testPerfModel(t)
+	p, err := m.EstimatePower(PerfCounterSample{Counts: nil, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 7 {
+		t.Errorf("idle power = %v, want 7", p)
+	}
+	u, err := m.Utilization(PerfCounterSample{Counts: nil, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0 {
+		t.Errorf("idle utilization = %v, want 0", u)
+	}
+}
+
+func TestPerfCounterPower(t *testing.T) {
+	m := testPerfModel(t)
+	// 1e9 uops at 10 nJ = 10 J over 1 s = 10 W above idle.
+	s := PerfCounterSample{
+		Counts:   map[string]uint64{"uops": 1_000_000_000},
+		Interval: time.Second,
+	}
+	p, err := m.EstimatePower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(p)-17) > 1e-9 {
+		t.Errorf("power = %v, want 17", p)
+	}
+	u, err := m.Utilization(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Fraction((17.0 - 7.0) / 24.0)
+	if math.Abs(float64(u-want)) > 1e-9 {
+		t.Errorf("utilization = %v, want %v", u, want)
+	}
+}
+
+func TestPerfCounterIgnoresUnknownEvents(t *testing.T) {
+	m := testPerfModel(t)
+	s := PerfCounterSample{
+		Counts:   map[string]uint64{"mystery_event": 1 << 40},
+		Interval: time.Second,
+	}
+	p, err := m.EstimatePower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 7 {
+		t.Errorf("power with unknown events = %v, want idle 7", p)
+	}
+}
+
+func TestPerfCounterClampsUtilization(t *testing.T) {
+	m := testPerfModel(t)
+	// Enormous event count saturates at 100%.
+	s := PerfCounterSample{
+		Counts:   map[string]uint64{"l2_miss": 1 << 40},
+		Interval: time.Second,
+	}
+	u, err := m.Utilization(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1 {
+		t.Errorf("saturated utilization = %v, want 1", u)
+	}
+}
+
+func TestPerfCounterBadInterval(t *testing.T) {
+	m := testPerfModel(t)
+	if _, err := m.EstimatePower(PerfCounterSample{Interval: 0}); err == nil {
+		t.Error("zero interval: want error")
+	}
+	if _, err := m.Utilization(PerfCounterSample{Interval: -time.Second}); err == nil {
+		t.Error("negative interval: want error")
+	}
+}
+
+func TestPerfCounterShorterIntervalMeansMorePower(t *testing.T) {
+	m := testPerfModel(t)
+	counts := map[string]uint64{"uops": 500_000_000}
+	p1, err := m.EstimatePower(PerfCounterSample{Counts: counts, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHalf, err := m.EstimatePower(PerfCounterSample{Counts: counts, Interval: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pHalf <= p1 {
+		t.Errorf("same events in half the time should draw more power: %v vs %v", pHalf, p1)
+	}
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/solver"
+)
+
+const sample = `# a trace
+0 machine1 cpu 0.25
+0 machine1 disk 0.10
+1 machine1 cpu 0.50
+2.5 machine1 cpu 0.75
+`
+
+func TestReadTrace(t *testing.T) {
+	tr, err := ReadTrace(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 4 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+	r := tr.Records[3]
+	if r.At != 2500*time.Millisecond || r.Machine != "machine1" ||
+		r.Source != model.UtilCPU || r.Util != 0.75 {
+		t.Errorf("last record = %+v", r)
+	}
+	if tr.Duration() != 2500*time.Millisecond {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+	if got := tr.Machines(); !reflect.DeepEqual(got, []string{"machine1"}) {
+		t.Errorf("machines = %v", got)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"fields", "0 machine1 cpu\n"},
+		{"negative time", "-1 machine1 cpu 0.5\n"},
+		{"decreasing time", "5 m cpu 0.5\n4 m cpu 0.5\n"},
+		{"bad util", "0 m cpu high\n"},
+		{"util out of range", "0 m cpu 1.5\n"},
+		{"bad time", "soon m cpu 0.5\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTrace(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := ReadTrace(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip changed the trace:\n%+v\n%+v", tr, got)
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	tr, _ := ReadTrace(strings.NewReader(sample))
+	big := tr.Replicate(map[string][]string{
+		"machine1": {"machine1", "machine2", "machine3", "machine4"},
+	})
+	if len(big.Records) != 16 {
+		t.Fatalf("replicated records = %d, want 16", len(big.Records))
+	}
+	if got := big.Machines(); len(got) != 4 {
+		t.Errorf("machines = %v", got)
+	}
+	// Timestamps stay sorted.
+	for i := 1; i < len(big.Records); i++ {
+		if big.Records[i].At < big.Records[i-1].At {
+			t.Fatal("replicated trace not sorted")
+		}
+	}
+	// Unmapped machines disappear.
+	none := tr.Replicate(map[string][]string{})
+	if len(none.Records) != 0 {
+		t.Errorf("unmapped records kept: %d", len(none.Records))
+	}
+}
+
+func TestReplayProducesLog(t *testing.T) {
+	src := `0 m1 cpu 1.0
+600 m1 cpu 1.0
+`
+	tr, err := ReadTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := solver.NewSingle(model.DefaultServer("m1"), solver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := Replay(s, tr, []Probe{{Machine: "m1", Node: model.NodeCPU}}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 600 s at one sample per minute: t=0..600 inclusive = 11 samples.
+	if len(log.Records) != 11 {
+		t.Fatalf("log records = %d, want 11", len(log.Records))
+	}
+	first, last := log.Records[0], log.Records[len(log.Records)-1]
+	if first.Temp != 21.6 {
+		t.Errorf("initial temp = %v", first.Temp)
+	}
+	if last.Temp <= first.Temp+10 {
+		t.Errorf("temperature did not rise under full load: %v -> %v", first.Temp, last.Temp)
+	}
+	// Monotone rise toward steady state under constant full load.
+	for i := 1; i < len(log.Records); i++ {
+		if log.Records[i].Temp < log.Records[i-1].Temp {
+			t.Fatalf("non-monotone heating at %v", log.Records[i].At)
+		}
+	}
+}
+
+func TestReplayUnknownMachine(t *testing.T) {
+	tr, _ := ReadTrace(strings.NewReader("0 ghost cpu 0.5\n"))
+	s, _ := solver.NewSingle(model.DefaultServer("m1"), solver.Config{})
+	if _, err := Replay(s, tr, nil, time.Second); err == nil {
+		t.Error("unknown machine in trace: want error")
+	}
+}
+
+func TestReplayUnknownProbe(t *testing.T) {
+	tr, _ := ReadTrace(strings.NewReader("0 m1 cpu 0.5\n1 m1 cpu 0.6\n"))
+	s, _ := solver.NewSingle(model.DefaultServer("m1"), solver.Config{})
+	if _, err := Replay(s, tr, []Probe{{Machine: "m1", Node: "ghost"}}, time.Second); err == nil {
+		t.Error("unknown probe: want error")
+	}
+}
+
+func TestTempLogRoundTrip(t *testing.T) {
+	log := &TempLog{Records: []TempRecord{
+		{At: 0, Machine: "m1", Node: "cpu", Temp: 21.6},
+		{At: time.Minute, Machine: "m1", Node: "cpu", Temp: 35.1234},
+	}}
+	var buf bytes.Buffer
+	if err := log.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTempLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("records = %d", len(got.Records))
+	}
+	if got.Records[1].Temp != 35.1234 {
+		t.Errorf("temp = %v", got.Records[1].Temp)
+	}
+}
+
+func TestReadTempLogErrors(t *testing.T) {
+	cases := []string{
+		"0 m cpu\n",
+		"x m cpu 20\n",
+		"0 m cpu cold\n",
+		"0 m cpu -400\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadTempLog(strings.NewReader(src)); err == nil {
+			t.Errorf("%q: want error", src)
+		}
+	}
+}
+
+func TestReplicatedClusterEmulation(t *testing.T) {
+	// The headline offline feature: record one machine, emulate four.
+	tr, _ := ReadTrace(strings.NewReader("0 machine1 cpu 0.8\n300 machine1 cpu 0.8\n"))
+	big := tr.Replicate(map[string][]string{
+		"machine1": {"machine1", "machine2", "machine3", "machine4"},
+	})
+	c, err := model.DefaultCluster("room", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := solver.New(c, solver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := make([]Probe, 4)
+	for i := range probes {
+		probes[i] = Probe{Machine: big.Machines()[i], Node: model.NodeCPU}
+	}
+	log, err := Replay(s, big, probes, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final sample: all four machines at identical temperature.
+	finals := map[string]float64{}
+	for _, r := range log.Records {
+		if r.At == 5*time.Minute {
+			finals[r.Machine] = float64(r.Temp)
+		}
+	}
+	if len(finals) != 4 {
+		t.Fatalf("final samples = %v", finals)
+	}
+	for m, temp := range finals {
+		if temp != finals["machine1"] {
+			t.Errorf("%s = %v, differs from machine1 = %v", m, temp, finals["machine1"])
+		}
+		if temp <= 25 {
+			t.Errorf("%s = %v, want heated", m, temp)
+		}
+	}
+}

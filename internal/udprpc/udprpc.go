@@ -1,0 +1,80 @@
+// Package udprpc provides the small request/reply discipline Mercury's
+// UDP clients share: send a datagram, wait for one reply with a
+// timeout, retry a bounded number of times.
+package udprpc
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Defaults used when a Client field is zero.
+const (
+	DefaultTimeout = 250 * time.Millisecond
+	DefaultRetries = 3
+)
+
+// Client is a connected UDP endpoint with retry behaviour. The zero
+// value is unusable; use Dial.
+type Client struct {
+	conn    *net.UDPConn
+	timeout time.Duration
+	retries int
+}
+
+// Dial connects to a UDP address. timeout <= 0 and retries <= 0 select
+// the defaults.
+func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udprpc: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("udprpc: %w", err)
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	if retries <= 0 {
+		retries = DefaultRetries
+	}
+	return &Client{conn: conn, timeout: timeout, retries: retries}, nil
+}
+
+// Do sends req and returns the first reply datagram, retrying on
+// timeout. The returned slice is freshly allocated.
+func (c *Client) Do(req []byte) ([]byte, error) {
+	var lastErr error
+	buf := make([]byte, 2048)
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if _, err := c.conn.Write(req); err != nil {
+			return nil, fmt.Errorf("udprpc: send: %w", err)
+		}
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("udprpc: %w", err)
+		}
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out := make([]byte, n)
+		copy(out, buf[:n])
+		return out, nil
+	}
+	return nil, fmt.Errorf("udprpc: no reply after %d attempts: %w", c.retries, lastErr)
+}
+
+// Send transmits a datagram without expecting a reply (monitord's
+// fire-and-forget utilization updates).
+func (c *Client) Send(req []byte) error {
+	if _, err := c.conn.Write(req); err != nil {
+		return fmt.Errorf("udprpc: send: %w", err)
+	}
+	return nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }

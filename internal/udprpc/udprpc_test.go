@@ -1,0 +1,116 @@
+package udprpc
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer replies to every datagram after skip initial drops.
+func echoServer(t *testing.T, drop int) string {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 2048)
+		dropped := 0
+		for {
+			n, peer, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if dropped < drop {
+				dropped++
+				continue
+			}
+			conn.WriteToUDP(buf[:n], peer)
+		}
+	}()
+	return conn.LocalAddr().String()
+}
+
+func TestDoEcho(t *testing.T) {
+	addr := echoServer(t, 0)
+	c, err := Dial(addr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Do([]byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" {
+		t.Errorf("reply = %q", got)
+	}
+}
+
+func TestDoRetriesThroughLoss(t *testing.T) {
+	addr := echoServer(t, 2) // first two requests vanish
+	c, err := Dial(addr, 50*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Do([]byte("persistent"))
+	if err != nil {
+		t.Fatalf("retries should have succeeded: %v", err)
+	}
+	if string(got) != "persistent" {
+		t.Errorf("reply = %q", got)
+	}
+}
+
+func TestDoTimesOut(t *testing.T) {
+	// A listener that never replies.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c, err := Dial(conn.LocalAddr().String(), 20*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Do([]byte("void")); err == nil {
+		t.Fatal("want timeout error")
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("returned after %v; should have retried twice at 20ms each", elapsed)
+	}
+}
+
+func TestSend(t *testing.T) {
+	addr := echoServer(t, 0)
+	c, err := Dial(addr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("oneway")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("not-an-address::::", 0, 0); err == nil {
+		t.Error("bad address: want error")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	addr := echoServer(t, 0)
+	c, err := Dial(addr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.timeout != DefaultTimeout || c.retries != DefaultRetries {
+		t.Errorf("defaults = %v/%d", c.timeout, c.retries)
+	}
+}

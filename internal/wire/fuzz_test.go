@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/darklab/mercury/internal/model"
+)
+
+// Fuzz targets for every decoder: arbitrary datagrams must yield an
+// error or a value whose re-encoding decodes equal — never a panic.
+
+func fuzzSeeds(f *testing.F) {
+	u, _ := MarshalUtilUpdate(&UtilUpdate{
+		Machine: "machine1", Seq: 7,
+		Entries: []UtilEntry{{Source: model.UtilCPU, Util: 0.5}},
+	})
+	f.Add(u)
+	r, _ := MarshalSensorRead(&SensorRead{Machine: "m", Node: "cpu"})
+	f.Add(r)
+	rep, _ := MarshalSensorReply(&SensorReply{Status: StatusOK, Temp: 42})
+	f.Add(rep)
+	op, _ := MarshalFiddleOp(&FiddleOp{Op: OpPinInlet, Strings: []string{"m"}, Floats: []float64{30}})
+	f.Add(op)
+	lr, _ := MarshalListReply(&ListReply{Status: StatusOK, Names: []string{"a", "b"}})
+	f.Add(lr)
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, 0xEE, 1, 2, 3})
+}
+
+func FuzzUnmarshalUtilUpdate(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := UnmarshalUtilUpdate(data)
+		if err != nil {
+			return
+		}
+		buf, err := MarshalUtilUpdate(u)
+		if err != nil {
+			t.Fatalf("decoded update does not re-encode: %v", err)
+		}
+		if len(buf) != UtilUpdateSize {
+			t.Fatalf("re-encoded size %d", len(buf))
+		}
+		for _, e := range u.Entries {
+			if !e.Util.Valid() {
+				t.Fatalf("decoded invalid utilization %v", float64(e.Util))
+			}
+		}
+	})
+}
+
+func FuzzUnmarshalSensorRead(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalSensorRead(data)
+		if err != nil {
+			return
+		}
+		if _, err := MarshalSensorRead(r); err != nil {
+			t.Fatalf("decoded read does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalFiddleOp(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, err := UnmarshalFiddleOp(data)
+		if err != nil {
+			return
+		}
+		if err := ValidateFiddle(op); err != nil {
+			t.Fatalf("decoder returned invalid op: %v", err)
+		}
+		if _, err := MarshalFiddleOp(op); err != nil {
+			t.Fatalf("decoded op does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalListReply(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalListReply(data)
+		if err != nil {
+			return
+		}
+		if len(r.Names) > 255 {
+			t.Fatalf("decoded %d names", len(r.Names))
+		}
+	})
+}

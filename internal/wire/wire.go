@@ -1,0 +1,388 @@
+// Package wire defines the UDP datagram formats spoken between the
+// Mercury solver daemon, the monitoring daemons, the sensor library,
+// and the fiddle tool. Utilization updates are padded to exactly 128
+// bytes, matching the paper's "128-byte UDP messages"; replies are at
+// most 512 bytes.
+//
+// All multi-byte integers are big-endian. Strings are length-prefixed
+// with one byte (maximum 255 bytes). Floats travel as IEEE-754 bits.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// Message type bytes.
+const (
+	MsgUtilUpdate  = 0x01
+	MsgSensorRead  = 0x02
+	MsgSensorReply = 0x03
+	MsgFiddleOp    = 0x04
+	MsgFiddleReply = 0x05
+	MsgListNodes   = 0x06
+	MsgListReply   = 0x07
+)
+
+// Version is the protocol version byte leading every datagram.
+const Version = 0x01
+
+// UtilUpdateSize is the fixed size of a utilization update datagram.
+const UtilUpdateSize = 128
+
+// MaxReplySize bounds every reply datagram.
+const MaxReplySize = 512
+
+// Status codes carried in replies.
+const (
+	StatusOK      = 0x00
+	StatusUnknown = 0x01 // unknown machine/node/source
+	StatusBadOp   = 0x02 // malformed or rejected operation
+)
+
+// Common decode errors.
+var (
+	ErrShort       = errors.New("wire: datagram too short")
+	ErrBadSize     = errors.New("wire: utilization update must be exactly 128 bytes")
+	ErrBadVersion  = errors.New("wire: unsupported protocol version")
+	ErrBadType     = errors.New("wire: unexpected message type")
+	ErrStringSize  = errors.New("wire: string exceeds 255 bytes")
+	ErrTooManyUtil = errors.New("wire: too many utilization entries")
+)
+
+// UtilEntry is one (source, utilization) pair of an update.
+type UtilEntry struct {
+	Source model.UtilSource
+	Util   units.Fraction
+}
+
+// UtilUpdate is the periodic report monitord sends to the solver: the
+// monitored machine's component utilizations for the last interval.
+type UtilUpdate struct {
+	Machine string
+	Seq     uint32
+	Entries []UtilEntry
+}
+
+type encoder struct {
+	buf []byte
+	err error
+}
+
+func (e *encoder) byte(b byte) { e.buf = append(e.buf, b) }
+
+func (e *encoder) u32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+func (e *encoder) f64(v float64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *encoder) str(s string) {
+	if len(s) > 255 {
+		e.err = ErrStringSize
+		return
+	}
+	e.byte(byte(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, ErrShort
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, ErrShort
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, ErrShort
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.byte()
+	if err != nil {
+		return "", err
+	}
+	if d.pos+int(n) > len(d.buf) {
+		return "", ErrShort
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func header(typ byte) *encoder {
+	e := &encoder{}
+	e.byte(Version)
+	e.byte(typ)
+	return e
+}
+
+func checkHeader(buf []byte, typ byte) (*decoder, error) {
+	d := &decoder{buf: buf}
+	v, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, ErrBadVersion
+	}
+	t, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if t != typ {
+		return nil, ErrBadType
+	}
+	return d, nil
+}
+
+// MarshalUtilUpdate encodes an update into exactly UtilUpdateSize
+// bytes. Entries are sorted by source so encoding is deterministic.
+func MarshalUtilUpdate(u *UtilUpdate) ([]byte, error) {
+	entries := append([]UtilEntry(nil), u.Entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Source < entries[j].Source })
+	e := header(MsgUtilUpdate)
+	e.str(u.Machine)
+	e.u32(u.Seq)
+	if len(entries) > 8 {
+		return nil, ErrTooManyUtil
+	}
+	e.byte(byte(len(entries)))
+	for _, en := range entries {
+		e.str(string(en.Source))
+		e.f64(float64(en.Util.Clamp()))
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	if len(e.buf) > UtilUpdateSize {
+		return nil, fmt.Errorf("wire: utilization update needs %d bytes, limit %d", len(e.buf), UtilUpdateSize)
+	}
+	padded := make([]byte, UtilUpdateSize)
+	copy(padded, e.buf)
+	return padded, nil
+}
+
+// UnmarshalUtilUpdate decodes an update datagram. Compliant senders
+// always pad to exactly UtilUpdateSize, so any other length is
+// rejected outright.
+func UnmarshalUtilUpdate(buf []byte) (*UtilUpdate, error) {
+	if len(buf) != UtilUpdateSize {
+		return nil, ErrBadSize
+	}
+	d, err := checkHeader(buf, MsgUtilUpdate)
+	if err != nil {
+		return nil, err
+	}
+	u := &UtilUpdate{}
+	if u.Machine, err = d.str(); err != nil {
+		return nil, err
+	}
+	if u.Seq, err = d.u32(); err != nil {
+		return nil, err
+	}
+	n, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if n > 8 {
+		return nil, ErrTooManyUtil
+	}
+	for i := 0; i < int(n); i++ {
+		src, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.f64()
+		if err != nil {
+			return nil, err
+		}
+		u.Entries = append(u.Entries, UtilEntry{
+			Source: model.UtilSource(src),
+			Util:   units.Fraction(v).Clamp(),
+		})
+	}
+	return u, nil
+}
+
+// SensorRead asks the solver for one node's emulated temperature.
+type SensorRead struct {
+	Machine string
+	Node    string
+}
+
+// MarshalSensorRead encodes a read request.
+func MarshalSensorRead(r *SensorRead) ([]byte, error) {
+	e := header(MsgSensorRead)
+	e.str(r.Machine)
+	e.str(r.Node)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf, nil
+}
+
+// UnmarshalSensorRead decodes a read request.
+func UnmarshalSensorRead(buf []byte) (*SensorRead, error) {
+	d, err := checkHeader(buf, MsgSensorRead)
+	if err != nil {
+		return nil, err
+	}
+	r := &SensorRead{}
+	if r.Machine, err = d.str(); err != nil {
+		return nil, err
+	}
+	if r.Node, err = d.str(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SensorReply answers a SensorRead.
+type SensorReply struct {
+	Status  byte
+	Temp    units.Celsius
+	Message string // error detail when Status != StatusOK
+}
+
+// MarshalSensorReply encodes a reply.
+func MarshalSensorReply(r *SensorReply) ([]byte, error) {
+	e := header(MsgSensorReply)
+	e.byte(r.Status)
+	e.f64(float64(r.Temp))
+	e.str(r.Message)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf, nil
+}
+
+// UnmarshalSensorReply decodes a reply.
+func UnmarshalSensorReply(buf []byte) (*SensorReply, error) {
+	d, err := checkHeader(buf, MsgSensorReply)
+	if err != nil {
+		return nil, err
+	}
+	r := &SensorReply{}
+	if r.Status, err = d.byte(); err != nil {
+		return nil, err
+	}
+	v, err := d.f64()
+	if err != nil {
+		return nil, err
+	}
+	r.Temp = units.Celsius(v)
+	if r.Message, err = d.str(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ListNodes asks the solver which nodes a machine has (or, with an
+// empty machine name, which machines exist).
+type ListNodes struct {
+	Machine string
+}
+
+// MarshalListNodes encodes a list request.
+func MarshalListNodes(r *ListNodes) ([]byte, error) {
+	e := header(MsgListNodes)
+	e.str(r.Machine)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf, nil
+}
+
+// UnmarshalListNodes decodes a list request.
+func UnmarshalListNodes(buf []byte) (*ListNodes, error) {
+	d, err := checkHeader(buf, MsgListNodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &ListNodes{}
+	if r.Machine, err = d.str(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ListReply answers ListNodes with up to 255 names.
+type ListReply struct {
+	Status byte
+	Names  []string
+}
+
+// MarshalListReply encodes a list reply; it fails if the reply would
+// exceed MaxReplySize.
+func MarshalListReply(r *ListReply) ([]byte, error) {
+	e := header(MsgListReply)
+	e.byte(r.Status)
+	if len(r.Names) > 255 {
+		return nil, fmt.Errorf("wire: too many names (%d)", len(r.Names))
+	}
+	e.byte(byte(len(r.Names)))
+	for _, n := range r.Names {
+		e.str(n)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	if len(e.buf) > MaxReplySize {
+		return nil, fmt.Errorf("wire: list reply needs %d bytes, limit %d", len(e.buf), MaxReplySize)
+	}
+	return e.buf, nil
+}
+
+// UnmarshalListReply decodes a list reply.
+func UnmarshalListReply(buf []byte) (*ListReply, error) {
+	d, err := checkHeader(buf, MsgListReply)
+	if err != nil {
+		return nil, err
+	}
+	r := &ListReply{}
+	if r.Status, err = d.byte(); err != nil {
+		return nil, err
+	}
+	n, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		r.Names = append(r.Names, name)
+	}
+	return r, nil
+}

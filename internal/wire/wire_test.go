@@ -1,0 +1,280 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+func TestUtilUpdateRoundTrip(t *testing.T) {
+	u := &UtilUpdate{
+		Machine: "machine1",
+		Seq:     42,
+		Entries: []UtilEntry{
+			{Source: model.UtilDisk, Util: 0.25},
+			{Source: model.UtilCPU, Util: 0.75},
+		},
+	}
+	buf, err := MarshalUtilUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != UtilUpdateSize {
+		t.Errorf("datagram size = %d, want exactly %d", len(buf), UtilUpdateSize)
+	}
+	got, err := UnmarshalUtilUpdate(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != "machine1" || got.Seq != 42 {
+		t.Errorf("header = %q seq %d", got.Machine, got.Seq)
+	}
+	// Entries come back sorted by source: cpu before disk.
+	want := []UtilEntry{
+		{Source: model.UtilCPU, Util: 0.75},
+		{Source: model.UtilDisk, Util: 0.25},
+	}
+	if !reflect.DeepEqual(got.Entries, want) {
+		t.Errorf("entries = %+v, want %+v", got.Entries, want)
+	}
+}
+
+func TestUtilUpdateClampsValues(t *testing.T) {
+	u := &UtilUpdate{
+		Machine: "m",
+		Entries: []UtilEntry{{Source: model.UtilCPU, Util: units.Fraction(1.7)}},
+	}
+	buf, err := MarshalUtilUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalUtilUpdate(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0].Util != 1 {
+		t.Errorf("clamped util = %v, want 1", got.Entries[0].Util)
+	}
+}
+
+func TestUtilUpdateLimits(t *testing.T) {
+	var entries []UtilEntry
+	for i := 0; i < 9; i++ {
+		entries = append(entries, UtilEntry{Source: model.UtilSource(string(rune('a' + i))), Util: 0.5})
+	}
+	if _, err := MarshalUtilUpdate(&UtilUpdate{Machine: "m", Entries: entries}); err != ErrTooManyUtil {
+		t.Errorf("9 entries: err = %v, want ErrTooManyUtil", err)
+	}
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err := MarshalUtilUpdate(&UtilUpdate{Machine: string(long)}); err != ErrStringSize {
+		t.Errorf("long machine name: err = %v, want ErrStringSize", err)
+	}
+}
+
+func TestUtilUpdateProperty(t *testing.T) {
+	f := func(seq uint32, cpu, disk float64) bool {
+		if math.IsNaN(cpu) || math.IsNaN(disk) {
+			return true
+		}
+		u := &UtilUpdate{
+			Machine: "machine7",
+			Seq:     seq,
+			Entries: []UtilEntry{
+				{Source: model.UtilCPU, Util: units.Fraction(cpu)},
+				{Source: model.UtilDisk, Util: units.Fraction(disk)},
+			},
+		}
+		buf, err := MarshalUtilUpdate(u)
+		if err != nil || len(buf) != UtilUpdateSize {
+			return false
+		}
+		got, err := UnmarshalUtilUpdate(buf)
+		if err != nil {
+			return false
+		}
+		return got.Seq == seq && got.Entries[0].Util.Valid() && got.Entries[1].Util.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensorReadRoundTrip(t *testing.T) {
+	r := &SensorRead{Machine: "machine1", Node: "disk_platters"}
+	buf, err := MarshalSensorRead(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSensorRead(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestSensorReplyRoundTrip(t *testing.T) {
+	for _, r := range []*SensorReply{
+		{Status: StatusOK, Temp: 38.6},
+		{Status: StatusUnknown, Message: "unknown node \"ghost\""},
+	} {
+		buf, err := MarshalSensorReply(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalSensorReply(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Errorf("round trip = %+v, want %+v", got, r)
+		}
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	req := &ListNodes{Machine: "machine1"}
+	buf, err := MarshalListNodes(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := UnmarshalListNodes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Machine != "machine1" {
+		t.Errorf("machine = %q", gotReq.Machine)
+	}
+	rep := &ListReply{Status: StatusOK, Names: []string{"cpu", "disk_platters", "cpu_air"}}
+	buf, err = MarshalListReply(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, err := UnmarshalListReply(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, gotRep) {
+		t.Errorf("round trip = %+v", gotRep)
+	}
+}
+
+func TestListReplyTooBig(t *testing.T) {
+	var names []string
+	for i := 0; i < 60; i++ {
+		names = append(names, "a-rather-long-node-name-padding-x")
+	}
+	if _, err := MarshalListReply(&ListReply{Names: names}); err == nil {
+		t.Error("oversize list reply: want error")
+	}
+}
+
+func TestFiddleOpRoundTrip(t *testing.T) {
+	ops := []*FiddleOp{
+		{Op: OpPinInlet, Strings: []string{"machine1"}, Floats: []float64{30}},
+		{Op: OpUnpinInlet, Strings: []string{"machine1"}},
+		{Op: OpSetNodeTemp, Strings: []string{"machine1", "cpu"}, Floats: []float64{55}},
+		{Op: OpSetSourceTemp, Strings: []string{"ac"}, Floats: []float64{27}},
+		{Op: OpSetHeatK, Strings: []string{"machine1", "cpu", "cpu_air"}, Floats: []float64{1.5}},
+		{Op: OpSetAirFraction, Strings: []string{"machine1", "inlet", "disk_air"}, Floats: []float64{0.3}},
+		{Op: OpSetFanFlow, Strings: []string{"machine1"}, Floats: []float64{77.2}},
+		{Op: OpSetPowerScale, Strings: []string{"machine1", "cpu"}, Floats: []float64{0.5}},
+		{Op: OpSetMachinePower, Strings: []string{"machine1"}, Floats: []float64{0}},
+	}
+	for _, op := range ops {
+		buf, err := MarshalFiddleOp(op)
+		if err != nil {
+			t.Fatalf("%s: %v", OpName(op.Op), err)
+		}
+		got, err := UnmarshalFiddleOp(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", OpName(op.Op), err)
+		}
+		if !reflect.DeepEqual(op, got) {
+			t.Errorf("%s round trip = %+v, want %+v", OpName(op.Op), got, op)
+		}
+	}
+}
+
+func TestFiddleOpValidation(t *testing.T) {
+	bad := []*FiddleOp{
+		{Op: 0xFF},
+		{Op: OpPinInlet}, // missing args
+		{Op: OpPinInlet, Strings: []string{"m", "extra"}, Floats: []float64{1}}, // too many strings
+		{Op: OpUnpinInlet, Strings: []string{"m"}, Floats: []float64{1}},        // extra float
+	}
+	for _, op := range bad {
+		if _, err := MarshalFiddleOp(op); err == nil {
+			t.Errorf("op %s with wrong shape: want error", OpName(op.Op))
+		}
+	}
+}
+
+func TestFiddleReplyRoundTrip(t *testing.T) {
+	r := &FiddleReply{Status: StatusBadOp, Message: "negative k"}
+	buf, err := MarshalFiddleReply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalFiddleReply(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestTypePeek(t *testing.T) {
+	buf, _ := MarshalSensorRead(&SensorRead{Machine: "m", Node: "cpu"})
+	typ, err := Type(buf)
+	if err != nil || typ != MsgSensorRead {
+		t.Errorf("Type = %v, %v", typ, err)
+	}
+	if _, err := Type([]byte{Version}); err != ErrShort {
+		t.Errorf("short: %v", err)
+	}
+	if _, err := Type([]byte{0x99, MsgSensorRead}); err != ErrBadVersion {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	good, _ := MarshalUtilUpdate(&UtilUpdate{
+		Machine: "m",
+		Entries: []UtilEntry{{Source: model.UtilCPU, Util: 1}},
+	})
+	// Truncations of a valid datagram must error, not panic.
+	for n := 0; n < 20; n++ {
+		if _, err := UnmarshalUtilUpdate(good[:n]); err == nil {
+			t.Errorf("truncated to %d bytes: want error", n)
+		}
+	}
+	// Wrong type for the decoder.
+	if _, err := UnmarshalSensorRead(good); err != ErrBadType {
+		t.Errorf("wrong type: %v, want ErrBadType", err)
+	}
+	// A corrupted entry count past the buffer end.
+	bad := append([]byte(nil), good...)
+	bad[2+1+1+4] = 200 // entry count byte (after header, len-1 name, seq)
+	if _, err := UnmarshalUtilUpdate(bad); err == nil {
+		t.Error("corrupt entry count: want error")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpName(OpSetHeatK) != "set-heat-k" {
+		t.Errorf("OpName = %q", OpName(OpSetHeatK))
+	}
+	if OpName(0xEE) != "op-0xee" {
+		t.Errorf("OpName unknown = %q", OpName(0xEE))
+	}
+}
