@@ -65,6 +65,47 @@ func BenchmarkSolverIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleoutStep measures the sharded stepping loop at cluster
+// scale: machines × worker counts, where workers=1 is the legacy
+// serial loop and workers=auto shards across every CPU via the
+// persistent pool. Temperatures are bit-identical across the variants
+// (asserted by TestParallelDeterminism); the benchmark exists to prove
+// the speedup. On a multi-core runner machines=1000/workers=auto
+// should beat workers=1 by >= 2x.
+func BenchmarkScaleoutStep(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		for _, w := range []struct {
+			name    string
+			workers int
+		}{
+			{"1", 1}, {"2", 2}, {"4", 4}, {"auto", 0},
+		} {
+			b.Run(fmt.Sprintf("machines=%d/workers=%s", n, w.name), func(b *testing.B) {
+				c, err := model.DefaultCluster("room", n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := solver.New(c, solver.Config{Workers: w.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 1; i <= n; i++ {
+					if err := s.SetUtilization(fmt.Sprintf("machine%d", i), model.UtilCPU,
+						units.Fraction(float64(i%10)/10)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Step()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "machine-steps/s")
+			})
+		}
+	}
+}
+
 // Section 2.3: readsensor() averages ~300us over UDP in the paper
 // (against ~500us for a real SCSI in-disk sensor).
 func BenchmarkReadSensor(b *testing.B) {

@@ -59,6 +59,7 @@ func main() {
 		machines  = flag.Int("machines", 1, "number of default Table 1 servers when -model is not given")
 		listen    = flag.String("listen", "127.0.0.1:8367", "UDP address for on-line mode")
 		step      = flag.Duration("step", time.Second, "solver iteration step")
+		workers   = flag.Int("workers", 0, "stepping goroutines: 0 = one per CPU, 1 = serial")
 		tracePath = flag.String("trace", "", "utilization trace: run off-line instead of serving UDP")
 		outPath   = flag.String("out", "", "temperature log output for off-line mode (default stdout)")
 		sample    = flag.Duration("sample", 10*time.Second, "off-line probe sampling interval")
@@ -69,20 +70,20 @@ func main() {
 	flag.Var(&probes, "probe", "machine/node to record off-line (repeatable)")
 	flag.Parse()
 
-	if err := run(*modelPath, *machines, *listen, *step, *tracePath, *outPath, *sample, *loadState, *saveState, probes); err != nil {
+	if err := run(*modelPath, *machines, *listen, *step, *workers, *tracePath, *outPath, *sample, *loadState, *saveState, probes); err != nil {
 		fmt.Fprintln(os.Stderr, "mercury-solver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath string, machines int, listen string, step time.Duration,
+func run(modelPath string, machines int, listen string, step time.Duration, workers int,
 	tracePath, outPath string, sample time.Duration, loadState, saveState string, probes probeList) error {
 
 	cluster, err := loadCluster(modelPath, machines)
 	if err != nil {
 		return err
 	}
-	sol, err := solver.New(cluster, solver.Config{Step: step})
+	sol, err := solver.New(cluster, solver.Config{Step: step, Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -118,4 +118,42 @@ func main() {
 	emit(1000*time.Second, log2)
 
 	fmt.Println("\nall machines track identically (ideal non-recirculating room); note the jump after t=1000s")
+
+	// How far does one solver instance scale? The stepping loop shards
+	// machines across a persistent worker pool (SolverConfig.Workers:
+	// 0 = one worker per CPU, 1 = the paper's serial loop), and the
+	// results are bit-identical either way — so the only question is
+	// wall-clock speed.
+	const bigRoom = 500
+	stepBig := func(workers int) (time.Duration, float64) {
+		room, err := mercury.DefaultCluster("big", bigRoom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := mercury.NewClusterSolver(room, mercury.SolverConfig{Workers: workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 1; i <= bigRoom; i++ {
+			name := fmt.Sprintf("machine%d", i)
+			if err := sol.SetUtilization(name, mercury.UtilCPU, 0.7); err != nil {
+				log.Fatal(err)
+			}
+		}
+		start := time.Now()
+		sol.StepN(600) // ten emulated minutes
+		elapsed := time.Since(start)
+		t, err := sol.Temperature("machine250", mercury.NodeCPU)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return elapsed, float64(t)
+	}
+	serial, tempSerial := stepBig(1)
+	parallel, tempParallel := stepBig(0)
+	fmt.Printf("\n%d-machine room, 600 steps: serial %v, parallel %v (%.1fx)\n",
+		bigRoom, serial.Round(time.Millisecond), parallel.Round(time.Millisecond),
+		float64(serial)/float64(parallel))
+	fmt.Printf("machine250 CPU after both runs: %.4fC vs %.4fC (bit-identical: %v)\n",
+		tempSerial, tempParallel, tempSerial == tempParallel)
 }

@@ -86,7 +86,11 @@ func NewSim(machines int, seed int64, duration time.Duration) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol, err := solver.New(c, solver.Config{})
+	// Workers: 0 shards stepping across all CPUs; temperatures are
+	// bit-identical to the paper's serial loop for any worker count
+	// (TestParallelDeterminism), so the regenerated figures are
+	// unchanged.
+	sol, err := solver.New(c, solver.Config{Workers: 0})
 	if err != nil {
 		return nil, err
 	}

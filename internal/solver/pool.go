@@ -1,0 +1,104 @@
+package solver
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool is a persistent set of goroutines that execute shard
+// closures for the stepping loop. Workers park on the jobs channel
+// between phases, so StepN/Run amortize goroutine startup and
+// scheduling across a whole batch of steps instead of paying a
+// fork/join per step.
+//
+// The pool deliberately holds no reference back to the Solver: the
+// Solver owns the pool and installs a finalizer that shuts the workers
+// down when the Solver becomes unreachable, so solvers need no
+// explicit Close.
+type workerPool struct {
+	jobs chan func()
+	quit chan struct{}
+}
+
+// newWorkerPool starts workers-1 parked goroutines; the caller of run
+// always executes the first shard inline, so total parallelism is
+// exactly workers.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		jobs: make(chan func(), workers),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for {
+				select {
+				case fn := <-p.jobs:
+					fn()
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// shutdown releases the parked workers. Installed as the Solver's
+// finalizer; also safe to call directly (tests do).
+func (p *workerPool) shutdown() { close(p.quit) }
+
+// shardBounds splits [0,n) into at most workers contiguous chunks of
+// near-equal size. Bounds depend only on (n, workers), so a fixed
+// worker count always yields the same sharding — and because each
+// machine's step arithmetic is self-contained, results are bit-equal
+// across any sharding at all.
+func shardBounds(n, workers int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	shards := workers
+	if shards > n {
+		shards = n
+	}
+	size := (n + shards - 1) / shards
+	var bounds [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	return bounds
+}
+
+// runPhase executes fn over every shard and returns when all shards
+// have finished — the barrier between the inlet-mixing and
+// machine-stepping phases of a step. The calling goroutine processes
+// shard 0 itself while the parked workers pick up the rest.
+func (p *workerPool) runPhase(bounds [][2]int, fn func(shard, lo, hi int)) {
+	if len(bounds) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < len(bounds); i++ {
+		i := i
+		wg.Add(1)
+		p.jobs <- func() {
+			defer wg.Done()
+			fn(i, bounds[i][0], bounds[i][1])
+		}
+	}
+	fn(0, bounds[0][0], bounds[0][1])
+	wg.Wait()
+}
+
+// resolveWorkers maps the Config.Workers knob to a concrete count:
+// 0 selects one worker per available CPU, anything else is taken
+// literally (1 = the legacy serial loop).
+func resolveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}

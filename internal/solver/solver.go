@@ -13,10 +13,17 @@
 // The solver is safe for concurrent use: the network daemon queries
 // temperatures and applies fiddle operations while a stepping loop
 // advances emulated time.
+//
+// Within one step, per-machine work is sharded across a persistent
+// worker pool (see Config.Workers and docs/performance.md): traversal 3
+// runs as a parallel phase over all machines, a barrier, then
+// traversals 1+2 run as a second parallel phase. Temperatures are
+// bit-identical for every worker count.
 package solver
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -37,18 +44,31 @@ type Config struct {
 	InitialTemp *units.Celsius
 	// OffFanFraction is the share of nominal fan flow that still moves
 	// through a machine that is powered off (natural draft through the
-	// chassis). Must be in (0, 1]. Default 0.1.
+	// chassis). Must be in (0, 1]. Default 0.1. New rejects values
+	// outside (0, 1] rather than guessing.
 	OffFanFraction units.Fraction
+	// Workers is the number of goroutines that step machines in
+	// parallel. 0 picks one per available CPU; 1 reproduces the legacy
+	// serial loop exactly. Per-machine arithmetic is self-contained
+	// within a step, so temperatures are bit-identical for every
+	// worker count — the knob only trades synchronization overhead
+	// against parallelism. Negative values are rejected by New.
+	Workers int
 }
 
-func (c Config) withDefaults() Config {
+func (c Config) withDefaults() (Config, error) {
 	if c.Step <= 0 {
 		c.Step = time.Second
 	}
-	if c.OffFanFraction <= 0 || c.OffFanFraction > 1 {
+	if c.OffFanFraction == 0 {
 		c.OffFanFraction = 0.1
+	} else if c.OffFanFraction < 0 || c.OffFanFraction > 1 {
+		return c, fmt.Errorf("solver: OffFanFraction %v out of range (0, 1]", c.OffFanFraction)
 	}
-	return c
+	if c.Workers < 0 {
+		return c, fmt.Errorf("solver: Workers %d must be >= 0", c.Workers)
+	}
+	return c, nil
 }
 
 // roomEdgeKind distinguishes what feeds a machine's inlet.
@@ -145,6 +165,15 @@ type Solver struct {
 	srcIdx   map[string]int
 	now      time.Duration
 	steps    uint64
+
+	// Parallel stepping: machines are sharded into contiguous chunks
+	// once at compile time; a persistent worker pool runs the two
+	// phases of each step over the shards with a barrier in between.
+	workers    int
+	shards     [][2]int
+	shardDelta []float64 // per-shard max |dT| of the last step
+	lastDelta  float64   // max |dT| across all machines, last step
+	pool       *workerPool
 }
 
 // New compiles a validated cluster into a Solver. The cluster is not
@@ -154,7 +183,10 @@ func New(c *model.Cluster, cfg Config) (*Solver, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s := &Solver{
 		cfg:    cfg,
 		byName: map[string]*compiledMachine{},
@@ -194,6 +226,16 @@ func New(c *model.Cluster, cfg Config) (*Solver, error) {
 			setAll(cm, cm.inletTemp)
 		}
 		cm.exhaustTemp = cm.temps[cm.exhaustIdx[0]]
+	}
+	s.workers = resolveWorkers(cfg.Workers)
+	s.shards = shardBounds(len(s.machines), s.workers)
+	s.shardDelta = make([]float64, len(s.shards))
+	if s.workers > 1 && len(s.shards) > 1 {
+		s.pool = newWorkerPool(s.workers)
+		// The pool never references the Solver, so the workers shut
+		// down when the last Solver reference is dropped; no explicit
+		// Close is required.
+		runtime.SetFinalizer(s, func(s *Solver) { s.pool.shutdown() })
 	}
 	return s, nil
 }
@@ -395,23 +437,60 @@ func (s *Solver) Steps() uint64 {
 func (s *Solver) stepLocked() {
 	dt := s.cfg.Step.Seconds()
 
-	// Traversal 3 (inter-machine) first: fix every inlet from the
-	// previous step's exhaust mixes and the sources.
-	for _, cm := range s.machines {
-		cm.inletTemp = s.mixInlet(cm)
-	}
+	// Phase 1 — traversal 3 (inter-machine) first: fix every inlet
+	// from the previous step's exhaust mixes and the sources. Each
+	// machine writes only its own inletTemp and reads only exhaust
+	// temperatures frozen by the previous step, so shards are
+	// independent.
+	s.runPhase(func(_, lo, hi int) {
+		for _, cm := range s.machines[lo:hi] {
+			cm.inletTemp = s.mixInlet(cm)
+		}
+	})
 
-	for _, cm := range s.machines {
-		stepMachine(cm, dt, s.cfg)
+	// Phase 2 — per-machine heat and air traversals. The barrier
+	// between the phases guarantees every inlet is fixed before any
+	// exhaust is overwritten. Each shard tracks its own maximum
+	// temperature delta; the reduction below is order-independent, so
+	// steady-state detection is also deterministic across worker
+	// counts.
+	s.runPhase(func(shard, lo, hi int) {
+		var d float64
+		for _, cm := range s.machines[lo:hi] {
+			if md := stepMachine(cm, dt, s.cfg); md > d {
+				d = md
+			}
+		}
+		s.shardDelta[shard] = d
+	})
+	var d float64
+	for _, sd := range s.shardDelta {
+		if sd > d {
+			d = sd
+		}
 	}
+	s.lastDelta = d
 
 	s.now += s.cfg.Step
 	s.steps++
 }
 
+// runPhase executes fn over every machine shard and waits for all of
+// them — on the worker pool when one exists, inline otherwise.
+func (s *Solver) runPhase(fn func(shard, lo, hi int)) {
+	if s.pool == nil {
+		for i, b := range s.shards {
+			fn(i, b[0], b[1])
+		}
+		return
+	}
+	s.pool.runPhase(s.shards, fn)
+}
+
 // stepMachine performs heat-flow and intra-machine air-flow traversals
-// for one machine.
-func stepMachine(cm *compiledMachine, dt float64, cfg Config) {
+// for one machine and returns the largest absolute temperature change
+// of any of its nodes during the step.
+func stepMachine(cm *compiledMachine, dt float64, cfg Config) float64 {
 	snap := cm.scratch
 	copy(snap, cm.temps)
 	netQ := cm.netQ
@@ -502,4 +581,16 @@ func stepMachine(cm *compiledMachine, dt float64, cfg Config) {
 	if wsum > 0 {
 		cm.exhaustTemp = tsum / wsum
 	}
+
+	var maxDelta float64
+	for i, t := range cm.temps {
+		d := t - snap[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return maxDelta
 }

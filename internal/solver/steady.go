@@ -3,9 +3,46 @@ package solver
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/darklab/mercury/internal/units"
 )
+
+// LastStepDelta returns the largest absolute single-step temperature
+// change of any node in the cluster during the most recent step (0
+// before the first step). The per-shard maxima computed by the
+// parallel stepping phases reduce to this value, so it is identical
+// for every worker count.
+func (s *Solver) LastStepDelta() units.Celsius {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return units.Celsius(s.lastDelta)
+}
+
+// RunUntilSteady steps the emulation until the largest single-step
+// temperature change anywhere in the cluster is at most tol, or until
+// maxDur of emulated time has elapsed, whichever comes first. It
+// returns the emulated time advanced and whether the tolerance was
+// reached. Unlike the analytic SteadyState it handles whole rooms with
+// recirculation, and it detects convergence by aggregating the
+// per-shard deltas the parallel stepping phases already track, so it
+// costs nothing extra per step.
+func (s *Solver) RunUntilSteady(tol units.Celsius, maxDur time.Duration) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	start := s.now
+	deadline := s.now + maxDur
+	for s.now < deadline {
+		s.stepLocked()
+		if s.lastDelta <= float64(tol) {
+			return s.now - start, true
+		}
+	}
+	return s.now - start, false
+}
 
 // SteadyState returns the machine's steady-state temperatures under
 // its current utilizations, fan flow, pins, and power state, without

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench.sh — run the full benchmark suite once and record the results
+# as BENCH_<date>.json in the repo root, seeding the local performance
+# trajectory (docs/performance.md explains how to read and refresh the
+# files). Pass extra `go test` arguments through, e.g.:
+#
+#   scripts/bench.sh                      # everything, one iteration
+#   scripts/bench.sh -bench=ScaleoutStep  # just the scale-out family
+set -eu
+
+cd "$(dirname "$0")/.."
+
+date="$(date +%Y%m%d)"
+out="BENCH_${date}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+if [ "$#" -gt 0 ]; then
+    go test -benchtime=1x -run='^$' "$@" ./... | tee "$raw"
+else
+    go test -bench=. -benchtime=1x -run='^$' ./... | tee "$raw"
+fi
+
+# Convert `go test -bench` lines into a JSON document:
+# {"date": ..., "go": ..., "benchmarks": [{"name":..., "iterations":...,
+#  "ns_per_op":..., "metrics": {"machine-steps/s": ...}}, ...]}
+awk -v date="$date" -v goversion="$(go version)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, goversion
+    n = 0
+}
+/^Benchmark/ {
+    name = $1; iters = $2
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+    m = 0
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "ns/op") {
+            printf ", \"ns_per_op\": %s", $i
+        } else {
+            if (!m++) printf ", \"metrics\": {"
+            else printf ", "
+            gsub(/"/, "", unit)
+            printf "\"%s\": %s", unit, $i
+        }
+    }
+    if (m) printf "}"
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"
