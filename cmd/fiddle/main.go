@@ -11,14 +11,20 @@
 // Script mode runs a Figure 4-style script with real sleeps:
 //
 //	fiddle -solver 127.0.0.1:8367 -script emergency.fiddle
+//
+// With -warp the script's sleeps elapse in virtual time paced N times
+// faster than the wall clock, matching a solver daemon started with
+// the same warp factor (see docs/virtual-time.md):
+//
+//	fiddle -solver 127.0.0.1:8367 -script emergency.fiddle -warp 100
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/fiddle"
 )
 
@@ -27,8 +33,20 @@ func main() {
 		solverAddr = flag.String("solver", "127.0.0.1:8367", "solver daemon UDP address")
 		script     = flag.String("script", "", "fiddle script to run (sleep/fiddle lines)")
 		timeout    = flag.Duration("timeout", 0, "per-operation reply timeout (0 = default)")
+		warp       = flag.Float64("warp", 0, "script sleeps elapse in virtual time at this factor (0 = real time)")
 	)
 	flag.Parse()
+
+	// Sleeps between script operations elapse on the (possibly warped)
+	// clock; the UDP transport keeps real-time reply timeouts, since
+	// the network does not speed up with emulated time.
+	var clk clock.Clock = clock.Real{}
+	if *warp > 0 {
+		vclk := clock.NewVirtual()
+		vclk.StartWarp(*warp)
+		defer vclk.StopWarp()
+		clk = vclk
+	}
 
 	client, err := fiddle.Dial(*solverAddr, *timeout, 0)
 	if err != nil {
@@ -45,7 +63,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := s.Run(client, time.Sleep); err != nil {
+		if err := s.Run(client, clk.Sleep); err != nil {
 			fatal(err)
 		}
 		return

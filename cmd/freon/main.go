@@ -8,6 +8,13 @@
 //	freon -policy ec
 //	freon -policy traditional
 //	freon -policy none        # no thermal management at all
+//
+// With -online the base-policy rig runs end to end over loopback UDP
+// instead of in process — solverd, one monitord per machine, and
+// Freon's daemons on a shared virtual clock at warp speed (see
+// docs/virtual-time.md):
+//
+//	freon -online -duration 2000s
 package main
 
 import (
@@ -20,23 +27,57 @@ import (
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/freon"
 	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/online"
 	"github.com/darklab/mercury/internal/webcluster"
 )
 
 func main() {
 	var (
-		policy   = flag.String("policy", "base", "thermal policy: base, twostage, ec, traditional, none")
-		machines = flag.Int("machines", 4, "cluster size")
-		duration = flag.Duration("duration", 2000*time.Second, "emulated run length")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		quiet    = flag.Bool("quiet", false, "suppress the per-minute timeline")
+		policy    = flag.String("policy", "base", "thermal policy: base, twostage, ec, traditional, none")
+		machines  = flag.Int("machines", 4, "cluster size")
+		duration  = flag.Duration("duration", 2000*time.Second, "emulated run length")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		quiet     = flag.Bool("quiet", false, "suppress the per-minute timeline")
+		onlineRun = flag.Bool("online", false, "run the base policy over loopback UDP daemons at warp speed")
 	)
 	flag.Parse()
 
-	if err := run(*policy, *machines, *duration, *seed, *quiet); err != nil {
+	var err error
+	if *onlineRun {
+		err = runOnline(*machines, *duration, *seed)
+	} else {
+		err = run(*policy, *machines, *duration, *seed, *quiet)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "freon:", err)
 		os.Exit(1)
 	}
+}
+
+// runOnline drives the full daemon stack over loopback UDP in
+// deterministic lockstep and prints the Figure 11 summary.
+func runOnline(machines int, duration time.Duration, seed int64) error {
+	start := time.Now()
+	res, err := online.Run(online.Config{
+		Machines: machines,
+		Seed:     seed,
+		Duration: duration,
+		Script:   online.Fig11Script,
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Printf("online: policy=base machines=%d duration=%v wall=%v (%.0fx warp)\n",
+		machines, duration, wall.Round(time.Millisecond), duration.Seconds()/wall.Seconds())
+	fmt.Printf("requests: arrived=%d completed=%d dropped=%d (%.2f%%)\n",
+		res.Totals.Arrived, res.Totals.Completed, res.Totals.Dropped, 100*res.Totals.DropRate())
+	for _, m := range res.Machines {
+		fmt.Printf("%s: max cpu %.1fC, %d weight adjustments\n", m, float64(res.MaxCPUTemp[m]), res.Adjustments[m])
+	}
+	fmt.Printf("daemons: %d solver steps (%d missed ticks), %d util updates, %d sensor reads\n",
+		res.SolverSteps, res.MissedTicks, res.UtilUpdates, res.SensorReads)
+	return nil
 }
 
 func run(policy string, machines int, duration time.Duration, seed int64, quiet bool) error {

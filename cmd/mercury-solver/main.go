@@ -12,6 +12,11 @@
 //
 //	mercury-solver -model room.mdot -listen 127.0.0.1:8367
 //
+// On-line at 100x warp (emulated time decoupled from wall time; see
+// docs/virtual-time.md):
+//
+//	mercury-solver -machines 4 -listen 127.0.0.1:8367 -warp 100
+//
 // Off-line:
 //
 //	mercury-solver -model server.mdot -trace utils.trace \
@@ -27,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/dotlang"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/solver"
@@ -65,19 +71,20 @@ func main() {
 		sample    = flag.Duration("sample", 10*time.Second, "off-line probe sampling interval")
 		loadState = flag.String("load-state", "", "solver state checkpoint to restore before starting")
 		saveState = flag.String("save-state", "", "write a state checkpoint here on SIGINT/SIGTERM (on-line mode)")
+		warp      = flag.Float64("warp", 0, "on-line virtual-time warp factor: emulated seconds per wall second (0 = real time)")
 		probes    probeList
 	)
 	flag.Var(&probes, "probe", "machine/node to record off-line (repeatable)")
 	flag.Parse()
 
-	if err := run(*modelPath, *machines, *listen, *step, *workers, *tracePath, *outPath, *sample, *loadState, *saveState, probes); err != nil {
+	if err := run(*modelPath, *machines, *listen, *step, *workers, *tracePath, *outPath, *sample, *loadState, *saveState, *warp, probes); err != nil {
 		fmt.Fprintln(os.Stderr, "mercury-solver:", err)
 		os.Exit(1)
 	}
 }
 
 func run(modelPath string, machines int, listen string, step time.Duration, workers int,
-	tracePath, outPath string, sample time.Duration, loadState, saveState string, probes probeList) error {
+	tracePath, outPath string, sample time.Duration, loadState, saveState string, warp float64, probes probeList) error {
 
 	cluster, err := loadCluster(modelPath, machines)
 	if err != nil {
@@ -107,12 +114,23 @@ func run(modelPath string, machines int, listen string, step time.Duration, work
 		return runOffline(sol, tracePath, outPath, sample, probes)
 	}
 
-	srv, err := solverd.Listen(listen, sol)
+	var opts []solverd.Option
+	var vclk *clock.Virtual
+	if warp > 0 {
+		vclk = clock.NewVirtual()
+		opts = append(opts, solverd.WithClock(vclk))
+	}
+	srv, err := solverd.Listen(listen, sol, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v)\n",
-		len(sol.Machines()), srv.Addr(), step)
+	if warp > 0 {
+		fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v, warp %gx)\n",
+			len(sol.Machines()), srv.Addr(), step, warp)
+	} else {
+		fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v)\n",
+			len(sol.Machines()), srv.Addr(), step)
+	}
 	if saveState != "" {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -129,6 +147,10 @@ func run(modelPath string, machines int, listen string, step time.Duration, work
 		}()
 	}
 	srv.StartTicker()
+	if vclk != nil {
+		vclk.StartWarp(warp)
+		defer vclk.StopWarp()
+	}
 	return srv.Serve()
 }
 

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/monitord"
 	"github.com/darklab/mercury/internal/procfs"
@@ -36,6 +37,7 @@ func main() {
 		nicCap   = flag.Float64("nic-capacity", 125e6, "NIC capacity in bytes/second")
 		synCPU   = flag.Float64("synthetic-cpu", -1, "fixed synthetic CPU utilization in [0,1] (disables /proc)")
 		synDisk  = flag.Float64("synthetic-disk", 0, "fixed synthetic disk utilization (with -synthetic-cpu)")
+		warp     = flag.Float64("warp", 0, "virtual-time warp factor: emulated seconds per wall second (0 = real time)")
 	)
 	flag.Parse()
 	if *machine == "" {
@@ -55,11 +57,19 @@ func main() {
 		})
 	}
 
+	var clk clock.Clock
+	if *warp > 0 {
+		vclk := clock.NewVirtual()
+		vclk.StartWarp(*warp)
+		defer vclk.StopWarp()
+		clk = vclk
+	}
 	d, err := monitord.New(monitord.Config{
 		Machine:    *machine,
 		Sampler:    sampler,
 		SolverAddr: *solver,
 		Interval:   *interval,
+		Clock:      clk,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "monitord:", err)

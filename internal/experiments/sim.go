@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/lvs"
 	"github.com/darklab/mercury/internal/model"
@@ -58,6 +59,14 @@ type Sim struct {
 	Solver  *solver.Solver
 	Cluster *webcluster.Cluster
 	Bal     *lvs.Balancer
+
+	// Clock is the sim's virtual time source, shared with the online
+	// harness's runtime: Run reads the current emulated instant from
+	// it and advances it one second per iteration, so anything hung
+	// off the same clock (tickers, After waiters) fires in lockstep
+	// with the simulation. NewSim populates it; zero-value Sims get a
+	// fresh clock on first Run.
+	Clock *clock.Virtual
 
 	// Requests is the full arrival trace.
 	Requests []workload.Request
@@ -116,6 +125,7 @@ func NewSim(machines int, seed int64, duration time.Duration) (*Sim, error) {
 		Solver:      sol,
 		Cluster:     wc,
 		Bal:         bal,
+		Clock:       clock.NewVirtual(),
 		Requests:    reqs,
 		PollEvery:   5 * time.Second,
 		PeriodEvery: time.Minute,
@@ -137,13 +147,22 @@ func (p PowerAdapter) SetPower(machine string, on bool) error {
 	return p.sim.Solver.SetMachinePower(machine, on)
 }
 
-// Run advances the sim for the given emulated duration.
+// Run advances the sim for the given emulated duration. Emulated time
+// lives on s.Clock: each iteration handles the second starting at the
+// clock's current instant and then advances it by one second, firing
+// any tickers or timers other components have registered on the same
+// clock.
 func (s *Sim) Run(duration time.Duration) error {
+	if s.Clock == nil {
+		s.Clock = clock.NewVirtual()
+	}
 	secs := int(duration / time.Second)
 	pollEvery := int(s.PollEvery / time.Second)
 	periodEvery := int(s.PeriodEvery / time.Second)
-	for sec := 0; sec < secs; sec++ {
-		now := time.Duration(sec) * time.Second
+	base := int(s.Clock.Elapsed() / time.Second)
+	for i := 0; i < secs; i++ {
+		sec := base + i
+		now := s.Clock.Elapsed()
 
 		for s.fiddleIdx < len(s.Fiddle) && s.Fiddle[s.fiddleIdx].At <= now {
 			if err := fiddle.Apply(s.Solver, s.Fiddle[s.fiddleIdx].Op); err != nil {
@@ -190,6 +209,7 @@ func (s *Sim) Run(duration time.Duration) error {
 				return err
 			}
 		}
+		s.Clock.Advance(time.Second)
 	}
 	return nil
 }

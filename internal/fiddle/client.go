@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/udprpc"
 	"github.com/darklab/mercury/internal/units"
 	"github.com/darklab/mercury/internal/wire"
@@ -18,7 +19,13 @@ type Client struct {
 // Dial connects to the solver daemon at addr. timeout <= 0 and
 // retries <= 0 select the transport defaults.
 func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
-	rpc, err := udprpc.Dial(addr, timeout, retries)
+	return DialClock(addr, timeout, retries, nil)
+}
+
+// DialClock is Dial with an explicit clock for the reply timeouts; nil
+// means the real clock.
+func DialClock(addr string, timeout time.Duration, retries int, clk clock.Clock) (*Client, error) {
+	rpc, err := udprpc.DialClock(addr, timeout, retries, clk)
 	if err != nil {
 		return nil, fmt.Errorf("fiddle: %w", err)
 	}

@@ -1,0 +1,93 @@
+package freon
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+)
+
+// Runner drives a Freon instance from a clock: TickPoll every ConnPoll
+// and TickPeriod every Period, the way the freon command runs them
+// against a live solver daemon. A single base ticker at the gcd of the
+// two intervals keeps the firing order deterministic — when a poll and
+// a period land on the same instant, the poll runs first, matching the
+// experiment harness's per-second ordering.
+type Runner struct {
+	f       *Freon
+	clk     clock.Clock
+	base    time.Duration
+	poll    time.Duration
+	period  time.Duration
+	polls   atomic.Uint64
+	periods atomic.Uint64
+}
+
+// NewRunner prepares a clock-driven loop for f. A nil clk means the
+// real clock.
+func NewRunner(f *Freon, clk clock.Clock) *Runner {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	cfg := f.Config()
+	return &Runner{
+		f:      f,
+		clk:    clk,
+		base:   gcd(cfg.ConnPoll, cfg.Period),
+		poll:   cfg.ConnPoll,
+		period: cfg.Period,
+	}
+}
+
+// Polls returns the number of completed connection-statistics polls.
+func (r *Runner) Polls() uint64 { return r.polls.Load() }
+
+// Periods returns the number of completed observation periods.
+func (r *Runner) Periods() uint64 { return r.periods.Load() }
+
+// Run ticks until ctx is done or a tick fails; it returns the tick's
+// error, or ctx.Err() on cancellation.
+func (r *Runner) Run(ctx context.Context) error {
+	return r.RunReady(ctx, nil)
+}
+
+// RunReady is Run with a registration barrier: if ready is non-nil it
+// is closed once the base ticker is registered with the clock, so a
+// virtual-clock driver knows it may Advance without racing start-up.
+func (r *Runner) RunReady(ctx context.Context, ready chan<- struct{}) error {
+	t := r.clk.NewTicker(r.base)
+	defer t.Stop()
+	if ready != nil {
+		close(ready)
+	}
+	var elapsed time.Duration
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C():
+			elapsed += r.base
+			if elapsed%r.poll == 0 {
+				if err := r.f.TickPoll(); err != nil {
+					return err
+				}
+				r.polls.Add(1)
+			}
+			if elapsed%r.period == 0 {
+				if err := r.f.TickPeriod(); err != nil {
+					return err
+				}
+				r.periods.Add(1)
+			}
+		}
+	}
+}
+
+// gcd returns the greatest common divisor of two positive durations.
+func gcd(a, b time.Duration) time.Duration {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,63 @@
+package freon
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/lvs"
+)
+
+// TestRunnerVirtualSchedule drives a Runner with a virtual clock: one
+// 60-second advance must yield exactly 12 polls (every 5s) and 3
+// observation periods (every 20s).
+func TestRunnerVirtualSchedule(t *testing.T) {
+	env := newFakeEnv("m1", "m2")
+	bal := lvs.New()
+	bal.AddServer("m1", 1)
+	bal.AddServer("m2", 1)
+	f, err := New([]string{"m1", "m2"}, env, bal, env,
+		Config{Period: 20 * time.Second, ConnPoll: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual()
+	r := NewRunner(f, clk)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- r.RunReady(ctx, ready) }()
+	<-ready
+
+	clk.Advance(60 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Polls() != 12 || r.Periods() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("polls=%d periods=%d, want 12/3", r.Polls(), r.Periods())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunnerGCD(t *testing.T) {
+	cases := []struct{ a, b, want time.Duration }{
+		{5 * time.Second, time.Minute, 5 * time.Second},
+		{time.Minute, 5 * time.Second, 5 * time.Second},
+		{7 * time.Second, 5 * time.Second, time.Second},
+		{time.Second, time.Second, time.Second},
+	}
+	for _, c := range cases {
+		if got := gcd(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

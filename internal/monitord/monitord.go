@@ -7,8 +7,10 @@ package monitord
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/procfs"
 	"github.com/darklab/mercury/internal/udprpc"
 	"github.com/darklab/mercury/internal/wire"
@@ -21,8 +23,9 @@ type Daemon struct {
 	sampler  procfs.Sampler
 	client   *udprpc.Client
 	interval time.Duration
+	clk      clock.Clock
 	seq      uint32
-	sent     uint64
+	sent     atomic.Uint64
 }
 
 // Config configures a Daemon.
@@ -38,6 +41,9 @@ type Config struct {
 	// Interval between updates; default 1s, the paper's "tunable
 	// parameter set to 1 second by default".
 	Interval time.Duration
+	// Clock drives the sampling ticker; nil means the real clock. A
+	// clock.Virtual runs the daemon at warp speed or in lockstep.
+	Clock clock.Clock
 }
 
 // New connects a Daemon to the solver daemon.
@@ -51,7 +57,10 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
 	}
-	client, err := udprpc.Dial(cfg.SolverAddr, 0, 0)
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	client, err := udprpc.DialClock(cfg.SolverAddr, 0, 0, cfg.Clock)
 	if err != nil {
 		return nil, fmt.Errorf("monitord: %w", err)
 	}
@@ -60,6 +69,7 @@ func New(cfg Config) (*Daemon, error) {
 		sampler:  cfg.Sampler,
 		client:   client,
 		interval: cfg.Interval,
+		clk:      cfg.Clock,
 	}, nil
 }
 
@@ -81,26 +91,37 @@ func (d *Daemon) SampleOnce() error {
 	if err := d.client.Send(buf); err != nil {
 		return fmt.Errorf("monitord: %w", err)
 	}
-	d.sent++
+	d.sent.Add(1)
 	return nil
 }
 
 // Sent returns the number of updates successfully handed to the
-// network.
-func (d *Daemon) Sent() uint64 { return d.sent }
+// network. Safe to read while Run is looping.
+func (d *Daemon) Sent() uint64 { return d.sent.Load() }
 
 // Run samples on the configured interval until ctx is done. Transient
 // sample or send failures are tolerated (the solver just keeps the
 // previous utilization, as with any lost UDP datagram); Run returns
 // only when ctx is cancelled.
 func (d *Daemon) Run(ctx context.Context) error {
-	t := time.NewTicker(d.interval)
+	return d.RunReady(ctx, nil)
+}
+
+// RunReady is Run with a registration barrier: if ready is non-nil it
+// is closed once the sampling ticker is registered with the clock, so
+// a virtual-clock driver knows it may Advance without racing the
+// daemon's start-up.
+func (d *Daemon) RunReady(ctx context.Context, ready chan<- struct{}) error {
+	t := d.clk.NewTicker(d.interval)
 	defer t.Stop()
+	if ready != nil {
+		close(ready)
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-t.C:
+		case <-t.C():
 			_ = d.SampleOnce()
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/procfs"
 	"github.com/darklab/mercury/internal/units"
@@ -128,5 +129,51 @@ func TestRunLoop(t *testing.T) {
 	}
 	if len(ch) < 2 {
 		t.Errorf("received %d updates, want several", len(ch))
+	}
+}
+
+// TestRunVirtualClock drives the sampling loop with a virtual clock:
+// each one-second advance must produce exactly one update.
+func TestRunVirtualClock(t *testing.T) {
+	addr, ch := captureServer(t)
+	synth := procfs.NewSynthetic(model.UtilCPU)
+	synth.Set(model.UtilCPU, 0.5)
+	clk := clock.NewVirtual()
+	d, err := New(Config{Machine: "machine1", Sampler: synth, SolverAddr: addr, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- d.RunReady(ctx, ready) }()
+	<-ready
+
+	for i := uint64(1); i <= 3; i++ {
+		clk.Advance(time.Second)
+		deadline := time.Now().Add(5 * time.Second)
+		for d.Sent() != i {
+			if time.Now().After(deadline) {
+				t.Fatalf("after advance %d: sent = %d", i, d.Sent())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := uint32(1); i <= 3; i++ {
+		select {
+		case u := <-ch:
+			if u.Seq != i {
+				t.Errorf("update %d has seq %d", i, u.Seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("update never arrived")
+		}
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("Run returned %v, want context.Canceled", err)
 	}
 }

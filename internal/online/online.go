@@ -1,0 +1,384 @@
+// Package online boots Mercury's full daemon stack — solverd, one
+// monitord per machine, and Freon's tempd/admd — over loopback UDP on
+// a shared virtual clock, and drives it in deterministic lockstep at
+// warp speed. It is the end-to-end counterpart of experiments.Sim:
+// the same per-second ordering (fiddle, cluster tick, utilization
+// updates, solver step, Freon poll, Freon period), but with every
+// interaction crossing the wire the way a live deployment's would.
+//
+// The lockstep schedule staggers the daemons' tickers by sub-second
+// phase offsets so each advance wakes exactly one layer:
+//
+//	t = k+0.0   monitord sampling tickers fire (registered at 0)
+//	t = k+0.25  solverd's stepping ticker fires (registered at 0.25)
+//	t = k+0.5   Freon's base ticker fires (registered at 0.5),
+//	            and the harness runs second k's cluster work
+//
+// Between advances the harness waits on the daemons' atomic counters,
+// so two runs with the same seed produce bit-identical trajectories.
+package online
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/fiddle"
+	"github.com/darklab/mercury/internal/freon"
+	"github.com/darklab/mercury/internal/lvs"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/monitord"
+	"github.com/darklab/mercury/internal/procfs"
+	"github.com/darklab/mercury/internal/sensor"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/solverd"
+	"github.com/darklab/mercury/internal/units"
+	"github.com/darklab/mercury/internal/webcluster"
+	"github.com/darklab/mercury/internal/workload"
+)
+
+// Fig11Script is the Section 5 emergency: at 480 s machine1's inlet
+// rises to 38.6 C and machine3's to 35.6 C for the rest of the run.
+const Fig11Script = `#!/bin/bash
+sleep 480
+fiddle machine1 temperature inlet 38.6
+fiddle machine3 temperature inlet 35.6
+`
+
+// Config parameterizes an online run.
+type Config struct {
+	// Machines in the cluster; default 4, the paper's rig.
+	Machines int
+	// Seed for the workload trace; default 1, the Section 5 seed.
+	Seed int64
+	// Duration of emulated time; default 2000s, the Figure 11 span.
+	Duration time.Duration
+	// SampleEvery is the temperature sampling period; default 10s,
+	// matching the experiment harness's series.
+	SampleEvery time.Duration
+	// Script is a fiddle script scheduling emergencies (e.g.
+	// Fig11Script); empty means no emergency.
+	Script string
+	// Freon configures the thermal policy; the zero value is the
+	// paper's defaults.
+	Freon freon.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2000 * time.Second
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 10 * time.Second
+	}
+	return c
+}
+
+// Sample is one temperature observation: CPU temperatures per machine,
+// in machine order, taken after the step for second Sec completed.
+type Sample struct {
+	Sec   int
+	Temps []units.Celsius
+}
+
+// Result summarizes an online run with the same headline metrics the
+// offline Figure 11 experiment reports.
+type Result struct {
+	Machines []string
+	Samples  []Sample
+	Totals   webcluster.Totals
+	// MaxCPUTemp is the per-machine maximum over Samples.
+	MaxCPUTemp map[string]units.Celsius
+	// Adjustments counts admd weight adjustments per machine.
+	Adjustments map[string]int
+	// ServersShutDown counts red-line shutdowns (0 in Figure 11).
+	ServersShutDown int
+
+	// Daemon-side counters, for sanity checks.
+	SolverSteps uint64
+	MissedTicks uint64
+	UtilUpdates uint64
+	SensorReads uint64
+	FreonPolls  uint64
+	FreonPeriod uint64
+}
+
+// Run boots the stack, drives it for cfg.Duration of virtual time, and
+// tears it down.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	clk := clock.NewVirtual()
+
+	// Thermal model + solver behind the UDP daemon.
+	cm, err := model.DefaultCluster("room", cfg.Machines)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := solver.New(cm, solver.Config{Workers: 0})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := solverd.Listen("127.0.0.1:0", sol, solverd.WithClock(clk))
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	// Emulated web cluster and workload, exactly as experiments.NewSim
+	// builds them.
+	bal := lvs.New()
+	names := make([]string, cfg.Machines)
+	for i := range names {
+		names[i] = fmt.Sprintf("machine%d", i+1)
+	}
+	wc, err := webcluster.New(bal, names, webcluster.Config{})
+	if err != nil {
+		return nil, err
+	}
+	peak := float64(cfg.Machines) * 0.7 / webcluster.Config{}.MeanCPUPerRequest(0.3)
+	reqs := workload.GenerateWeb(workload.WebConfig{
+		Duration: cfg.Duration,
+		PeakRPS:  peak,
+		Seed:     cfg.Seed,
+	})
+
+	var ops []fiddle.TimedOp
+	if cfg.Script != "" {
+		script, err := fiddle.ParseScript(cfg.Script)
+		if err != nil {
+			return nil, err
+		}
+		ops = script.Schedule()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// One monitord per machine, each sampling a synthetic procfs that
+	// the harness refreshes from the cluster's per-tick utilizations.
+	synths := make(map[string]*procfs.Synthetic, cfg.Machines)
+	for _, m := range names {
+		synth := procfs.NewSynthetic(model.UtilCPU, model.UtilDisk)
+		synths[m] = synth
+		d, err := monitord.New(monitord.Config{
+			Machine:    m,
+			Sampler:    synth,
+			SolverAddr: addr,
+			Interval:   time.Second,
+			Clock:      clk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer d.Close()
+		ready := make(chan struct{})
+		go d.RunReady(ctx, ready)
+		<-ready
+	}
+
+	// Phase 0.25: the solver's stepping ticker.
+	clk.Advance(250 * time.Millisecond)
+	srv.StartTicker()
+	clk.Advance(250 * time.Millisecond)
+
+	// Phase 0.5: Freon, reading temperatures through the emulated
+	// sensor library (one UDP round trip per read, as on live
+	// hardware) and actuating the balancer locally, as admd does on
+	// the LVS machine.
+	comps := cfg.Freon.Components
+	if comps == nil {
+		comps = freon.DefaultComponents()
+	}
+	sens := udpSensors{sensors: map[string]map[string]*sensor.Sensor{}}
+	nodes := map[string]bool{model.NodeCPU: true}
+	for _, comp := range comps {
+		nodes[comp.Node] = true
+	}
+	for _, m := range names {
+		sens.sensors[m] = map[string]*sensor.Sensor{}
+		for node := range nodes {
+			s, err := sensor.OpenOptions(addr, m, node, sensor.Options{Clock: clk})
+			if err != nil {
+				return nil, err
+			}
+			defer s.Close()
+			sens.sensors[m][node] = s
+		}
+	}
+	fc, err := fiddle.DialClock(addr, 0, 0, clk)
+	if err != nil {
+		return nil, err
+	}
+	defer fc.Close()
+	fr, err := freon.New(names, sens, bal, power{wc: wc, fc: fc}, cfg.Freon)
+	if err != nil {
+		return nil, err
+	}
+	runner := freon.NewRunner(fr, clk)
+	runnerReady := make(chan struct{})
+	runnerDone := make(chan error, 1)
+	go func() { runnerDone <- runner.RunReady(ctx, runnerReady) }()
+	<-runnerReady
+
+	pollSecs := int(fr.Config().ConnPoll / time.Second)
+	periodSecs := int(fr.Config().Period / time.Second)
+	sampleSecs := int(cfg.SampleEvery / time.Second)
+	secs := int(cfg.Duration / time.Second)
+
+	res := &Result{Machines: names, MaxCPUTemp: map[string]units.Celsius{}, Adjustments: map[string]int{}}
+	reqIdx, opIdx := 0, 0
+	for sec := 0; sec < secs; sec++ {
+		// The harness's work for second sec happens at t = sec+0.5,
+		// before any daemon has observed the second.
+		now := time.Duration(sec) * time.Second
+		for opIdx < len(ops) && ops[opIdx].At <= now {
+			if err := fc.Apply(ops[opIdx].Op); err != nil {
+				return nil, fmt.Errorf("online: fiddle at %v: %w", now, err)
+			}
+			opIdx++
+		}
+		limit := now + time.Second
+		var batch []workload.Request
+		for reqIdx < len(reqs) && reqs[reqIdx].At < limit {
+			batch = append(batch, reqs[reqIdx])
+			reqIdx++
+		}
+		wc.TickSecond(batch)
+		for _, m := range names {
+			utils, err := wc.Utilizations(m)
+			if err != nil {
+				return nil, err
+			}
+			for src, u := range utils {
+				synths[m].Set(src, u)
+			}
+		}
+
+		// t -> sec+1.0: monitord reports the second's utilizations.
+		clk.Advance(500 * time.Millisecond)
+		wantUtil := uint64(cfg.Machines * (sec + 1))
+		if err := waitFor(sec, "utilization updates", runnerDone, func() bool {
+			return srv.Stats().UtilUpdates.Load() >= wantUtil
+		}); err != nil {
+			return nil, err
+		}
+
+		// t -> sec+1.25: the solver consumes them and steps.
+		clk.Advance(250 * time.Millisecond)
+		wantSteps := uint64(sec + 1)
+		if err := waitFor(sec, "solver step", runnerDone, func() bool {
+			return srv.Stats().SolverSteps.Load() >= wantSteps
+		}); err != nil {
+			return nil, err
+		}
+
+		// t -> sec+1.5: Freon observes the post-step temperatures.
+		clk.Advance(250 * time.Millisecond)
+		wantPolls := uint64((sec + 1) / pollSecs)
+		wantPeriods := uint64((sec + 1) / periodSecs)
+		if err := waitFor(sec, "freon ticks", runnerDone, func() bool {
+			return runner.Polls() >= wantPolls && runner.Periods() >= wantPeriods
+		}); err != nil {
+			return nil, err
+		}
+
+		if (sec+1)%sampleSecs == 0 {
+			sample := Sample{Sec: sec, Temps: make([]units.Celsius, len(names))}
+			for i, m := range names {
+				temp, err := sens.Temperature(m, model.NodeCPU)
+				if err != nil {
+					return nil, err
+				}
+				sample.Temps[i] = temp
+				if temp > res.MaxCPUTemp[m] {
+					res.MaxCPUTemp[m] = temp
+				}
+			}
+			res.Samples = append(res.Samples, sample)
+		}
+	}
+
+	cancel()
+	<-runnerDone
+
+	res.Totals = wc.Totals()
+	for _, m := range names {
+		res.Adjustments[m] = fr.Admd().Adjustments(m)
+	}
+	res.ServersShutDown = fr.OfflineCount()
+	res.SolverSteps = srv.Stats().SolverSteps.Load()
+	res.MissedTicks = srv.Stats().MissedTicks.Load()
+	res.UtilUpdates = srv.Stats().UtilUpdates.Load()
+	res.SensorReads = srv.Stats().SensorReads.Load()
+	res.FreonPolls = runner.Polls()
+	res.FreonPeriod = runner.Periods()
+	return res, nil
+}
+
+// waitFor yields until cond holds: a short Gosched burst for the
+// common case where the daemons finish within microseconds, then
+// escalating sleeps so a single-core scheduler is not saturated by
+// the spin. The runner's error channel is checked so a failed Freon
+// tick surfaces instead of hanging, and a generous real-time guard
+// turns a broken schedule into an error.
+func waitFor(sec int, what string, runnerDone <-chan error, cond func() bool) error {
+	deadline := time.Now().Add(30 * time.Second)
+	backoff := time.Microsecond
+	for i := 0; !cond(); i++ {
+		select {
+		case err := <-runnerDone:
+			return fmt.Errorf("online: freon runner exited during second %d: %w", sec, err)
+		default:
+		}
+		if i < 64 {
+			runtime.Gosched()
+			continue
+		}
+		time.Sleep(backoff)
+		if backoff < 128*time.Microsecond {
+			backoff *= 2
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("online: timed out waiting for %s at emulated second %d", what, sec)
+		}
+	}
+	return nil
+}
+
+// udpSensors adapts per-(machine, node) sensor clients to
+// freon.Sensors: every Temperature call is a UDP round trip.
+type udpSensors struct {
+	sensors map[string]map[string]*sensor.Sensor
+}
+
+func (u udpSensors) Temperature(machine, node string) (units.Celsius, error) {
+	s := u.sensors[machine][node]
+	if s == nil {
+		return 0, fmt.Errorf("online: no sensor open for %s/%s", machine, node)
+	}
+	return s.Read()
+}
+
+// power switches a machine off in the emulated web cluster directly
+// (admd runs beside LVS) and in the thermal model through the fiddle
+// protocol.
+type power struct {
+	wc *webcluster.Cluster
+	fc *fiddle.Client
+}
+
+func (p power) SetPower(machine string, on bool) error {
+	if err := p.wc.SetPower(machine, on); err != nil {
+		return err
+	}
+	return p.fc.SetMachinePower(machine, on)
+}

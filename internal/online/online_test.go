@@ -1,0 +1,186 @@
+package online_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/experiments"
+	"github.com/darklab/mercury/internal/fiddle"
+	"github.com/darklab/mercury/internal/freon"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/online"
+	"github.com/darklab/mercury/internal/units"
+	"github.com/darklab/mercury/internal/webcluster"
+)
+
+// simFig11 runs the offline in-process Figure 11 rig for the given
+// duration, sampling CPU temperatures on the online harness's cadence.
+func simFig11(t *testing.T, duration time.Duration) (samples [][]units.Celsius, totals webcluster.Totals, fr *freon.Freon) {
+	t.Helper()
+	sim, err := experiments.NewSim(4, 1, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := fiddle.ParseScript(online.Fig11Script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Fiddle = script.Schedule()
+	fr, err = freon.New(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(), freon.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.OnPoll = fr.TickPoll
+	sim.OnPeriod = fr.TickPeriod
+	machines := sim.Cluster.Machines()
+	sim.OnSecond = func(sec int, _ webcluster.Tick) error {
+		if (sec+1)%10 != 0 {
+			return nil
+		}
+		row := make([]units.Celsius, len(machines))
+		for i, m := range machines {
+			temp, err := sim.Solver.Temperature(m, model.NodeCPU)
+			if err != nil {
+				return err
+			}
+			row[i] = temp
+		}
+		samples = append(samples, row)
+		return nil
+	}
+	if err := sim.Run(duration); err != nil {
+		t.Fatal(err)
+	}
+	return samples, sim.Cluster.Totals(), fr
+}
+
+// TestOnlineFig11MatchesSim is the headline end-to-end check: the full
+// 2000-second Figure 11 emergency run over loopback UDP — solverd,
+// four monitords, and Freon on a shared virtual clock — must
+// reproduce the in-process simulation's temperature trajectory and
+// outcome metrics, and (without the race detector) finish well inside
+// the paper's real-time budget.
+func TestOnlineFig11MatchesSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2000s run; skipped in -short")
+	}
+	duration := 2000 * time.Second
+
+	start := time.Now()
+	res, err := online.Run(online.Config{Duration: duration, Script: online.Fig11Script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	t.Logf("online: %v emulated in %v wall (%.0fx warp)", duration, wall, duration.Seconds()/wall.Seconds())
+	if !online.RaceEnabled && wall > 20*time.Second {
+		t.Errorf("online run took %v of wall clock, budget 20s", wall)
+	}
+
+	simSamples, simTotals, fr := simFig11(t, duration)
+
+	// Trajectories must agree within 0.1 C at every 10s sample.
+	if len(res.Samples) != len(simSamples) {
+		t.Fatalf("online took %d samples, sim %d", len(res.Samples), len(simSamples))
+	}
+	maxDiff := 0.0
+	for i, s := range res.Samples {
+		for j := range s.Temps {
+			diff := math.Abs(float64(s.Temps[j] - simSamples[i][j]))
+			if diff > maxDiff {
+				maxDiff = diff
+			}
+			if diff > 0.1 {
+				t.Fatalf("sample %d (sec %d) machine %s: online %.4f vs sim %.4f",
+					i, s.Sec, res.Machines[j], s.Temps[j], simSamples[i][j])
+			}
+		}
+	}
+	t.Logf("max trajectory difference: %.6g C", maxDiff)
+
+	// Outcome metrics must match the offline experiment.
+	if res.Totals != simTotals {
+		t.Errorf("totals: online %+v, sim %+v", res.Totals, simTotals)
+	}
+	if res.Totals.DropRate() != 0 {
+		t.Errorf("drop rate = %v, want 0 (Figure 11)", res.Totals.DropRate())
+	}
+	if res.ServersShutDown != 0 {
+		t.Errorf("servers shut down = %d, want 0", res.ServersShutDown)
+	}
+	for _, m := range []string{"machine1", "machine3"} {
+		if res.Adjustments[m] == 0 {
+			t.Errorf("%s: no weight adjustments; Freon never reacted", m)
+		}
+		if got, want := res.Adjustments[m], fr.Admd().Adjustments(m); got != want {
+			t.Errorf("%s adjustments: online %d, sim %d", m, got, want)
+		}
+		if res.MaxCPUTemp[m] >= 71 {
+			t.Errorf("%s peaked at %v C, red line is 71", m, res.MaxCPUTemp[m])
+		}
+	}
+	for _, m := range []string{"machine2", "machine4"} {
+		if res.Adjustments[m] != 0 {
+			t.Errorf("%s: %d adjustments on a cool machine", m, res.Adjustments[m])
+		}
+	}
+
+	// The virtual clock must not have coalesced or lost any ticks.
+	if res.SolverSteps != uint64(duration/time.Second) {
+		t.Errorf("solver steps = %d, want %d", res.SolverSteps, duration/time.Second)
+	}
+	if res.MissedTicks != 0 {
+		t.Errorf("missed ticks = %d, want 0", res.MissedTicks)
+	}
+	if res.UtilUpdates != uint64(4*duration/time.Second) {
+		t.Errorf("util updates = %d, want %d", res.UtilUpdates, 4*duration/time.Second)
+	}
+}
+
+// TestOnlineDeterministic runs the same seeded emergency twice: every
+// sampled temperature, totals, and adjustment count must be identical
+// bit for bit.
+func TestOnlineDeterministic(t *testing.T) {
+	cfg := online.Config{Duration: 200 * time.Second, Script: online.Fig11Script}
+	a, err := online.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := online.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		for j := range a.Samples[i].Temps {
+			if a.Samples[i].Temps[j] != b.Samples[i].Temps[j] {
+				t.Fatalf("sample %d machine %d differs: %v vs %v",
+					i, j, a.Samples[i].Temps[j], b.Samples[i].Temps[j])
+			}
+		}
+	}
+	if a.Totals != b.Totals {
+		t.Errorf("totals differ: %+v vs %+v", a.Totals, b.Totals)
+	}
+	for m, n := range a.Adjustments {
+		if b.Adjustments[m] != n {
+			t.Errorf("%s adjustments differ: %d vs %d", m, n, b.Adjustments[m])
+		}
+	}
+}
+
+// BenchmarkOnlineWarp measures the warp throughput of the full online
+// stack in emulated seconds per wall second.
+func BenchmarkOnlineWarp(b *testing.B) {
+	const emu = 500 * time.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Run(online.Config{Duration: emu, Script: online.Fig11Script}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(emu.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "emu-s/s")
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package online
+
+// RaceEnabled reports whether the race detector is compiled in; the
+// end-to-end tests skip wall-clock budget assertions under its
+// overhead.
+const RaceEnabled = true

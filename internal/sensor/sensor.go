@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/udprpc"
 	"github.com/darklab/mercury/internal/units"
 	"github.com/darklab/mercury/internal/wire"
@@ -35,6 +36,9 @@ type Options struct {
 	Timeout time.Duration
 	// Retries per read; default 3.
 	Retries int
+	// Clock measures the reply timeouts; nil means the real clock. A
+	// virtual clock keeps retry schedules deterministic under warp.
+	Clock clock.Clock
 }
 
 // Open connects to the solver daemon at addr and validates that the
@@ -46,7 +50,7 @@ func Open(addr, machine, node string) (*Sensor, error) {
 
 // OpenOptions is Open with explicit client options.
 func OpenOptions(addr, machine, node string, opts Options) (*Sensor, error) {
-	client, err := udprpc.Dial(addr, opts.Timeout, opts.Retries)
+	client, err := udprpc.DialClock(addr, opts.Timeout, opts.Retries, opts.Clock)
 	if err != nil {
 		return nil, fmt.Errorf("sensor: %w", err)
 	}
@@ -102,7 +106,7 @@ func ListNodes(addr, machine string, opts Options) ([]string, error) {
 }
 
 func list(addr, machine string, opts Options) ([]string, error) {
-	client, err := udprpc.Dial(addr, opts.Timeout, opts.Retries)
+	client, err := udprpc.DialClock(addr, opts.Timeout, opts.Retries, opts.Clock)
 	if err != nil {
 		return nil, fmt.Errorf("sensor: %w", err)
 	}

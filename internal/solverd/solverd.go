@@ -11,28 +11,38 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/solver"
 	"github.com/darklab/mercury/internal/wire"
 )
 
-// Stats counts the daemon's traffic; all fields are updated
-// atomically and safe to read while serving.
+// Stats counts the daemon's traffic and stepping progress; all fields
+// are updated atomically and safe to read while serving.
 type Stats struct {
 	UtilUpdates  atomic.Uint64
 	SensorReads  atomic.Uint64
 	FiddleOps    atomic.Uint64
 	ListRequests atomic.Uint64
 	Malformed    atomic.Uint64
+	// SolverSteps counts iterations taken by the stepping ticker
+	// (StartTicker); direct solver stepping is not included.
+	SolverSteps atomic.Uint64
+	// MissedTicks counts ticker fires that were coalesced or dropped
+	// because a step overran the step interval; each missed tick is
+	// made up by a catch-up step, so SolverSteps still tracks elapsed
+	// clock time.
+	MissedTicks atomic.Uint64
 }
 
 // Server is a running solver daemon.
 type Server struct {
-	sol   *solver.Solver
-	conn  *net.UDPConn
-	stats Stats
+	sol    *solver.Solver
+	conn   *net.UDPConn
+	clk    clock.Clock
+	stats  Stats
+	stepFn func() // test seam; defaults to sol.Step
 
 	mu      sync.Mutex
 	lastSeq map[string]uint32
@@ -42,9 +52,18 @@ type Server struct {
 	tickOnce sync.Once
 }
 
+// Option configures a Server at Listen time.
+type Option func(*Server)
+
+// WithClock makes the stepping ticker run on clk instead of the real
+// clock; virtual clocks give deterministic warp-speed online runs.
+func WithClock(clk clock.Clock) Option {
+	return func(s *Server) { s.clk = clk }
+}
+
 // Listen binds a UDP socket (addr like "127.0.0.1:8367"; port 0 picks
 // a free port) and returns a Server ready to Serve.
-func Listen(addr string, sol *solver.Solver) (*Server, error) {
+func Listen(addr string, sol *solver.Solver, opts ...Option) (*Server, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("solverd: %w", err)
@@ -53,12 +72,18 @@ func Listen(addr string, sol *solver.Solver) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("solverd: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		sol:      sol,
 		conn:     conn,
+		clk:      clock.Real{},
 		lastSeq:  map[string]uint32{},
 		stopTick: make(chan struct{}),
-	}, nil
+	}
+	s.stepFn = sol.Step
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
 }
 
 // Addr returns the daemon's bound address.
@@ -70,19 +95,38 @@ func (s *Server) Stats() *Stats { return &s.stats }
 // Solver returns the wrapped solver (for co-located stepping loops).
 func (s *Server) Solver() *solver.Solver { return s.sol }
 
-// StartTicker advances the solver in real time, one Step every
+// StartTicker advances the solver in clock time, one Step every
 // solver step interval, until Close. Offline/experiment use drives the
 // solver directly instead.
+//
+// The ticker keeps emulated time locked to the clock even when a step
+// overruns the interval: time.Ticker silently coalesces fires under
+// load, so each fire compares the steps taken so far against the
+// elapsed clock time and catches up on any deficit, counting the
+// made-up fires in Stats.MissedTicks. The ticker is registered
+// synchronously, so a virtual-clock caller may Advance as soon as
+// StartTicker returns.
 func (s *Server) StartTicker() {
+	step := s.sol.StepSize()
+	start := s.clk.Now()
+	t := s.clk.NewTicker(step)
 	s.tickWG.Add(1)
 	go func() {
 		defer s.tickWG.Done()
-		t := time.NewTicker(s.sol.StepSize())
 		defer t.Stop()
 		for {
 			select {
-			case <-t.C:
-				s.sol.Step()
+			case <-t.C():
+				expected := int64(s.clk.Now().Sub(start) / step)
+				taken := 0
+				for int64(s.stats.SolverSteps.Load()) < expected {
+					s.stepFn()
+					s.stats.SolverSteps.Add(1)
+					taken++
+				}
+				if taken > 1 {
+					s.stats.MissedTicks.Add(uint64(taken - 1))
+				}
 			case <-s.stopTick:
 				return
 			}

@@ -1,12 +1,22 @@
 // Package udprpc provides the small request/reply discipline Mercury's
 // UDP clients share: send a datagram, wait for one reply with a
 // timeout, retry a bounded number of times.
+//
+// Timeouts are measured on an injectable clock (internal/clock): with
+// the default Real clock the behaviour is the classic read-deadline
+// loop, while a Virtual clock lets warp-speed emulations drive the
+// retry schedule deterministically without waiting out wall-clock
+// timeouts.
 package udprpc
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
+
+	"github.com/darklab/mercury/internal/clock"
 )
 
 // Defaults used when a Client field is zero.
@@ -15,17 +25,32 @@ const (
 	DefaultRetries = 3
 )
 
+// ErrTimeout is the per-attempt failure recorded when no reply arrives
+// within the timeout; Do wraps it in its final error.
+var ErrTimeout = errors.New("reply timeout")
+
 // Client is a connected UDP endpoint with retry behaviour. The zero
-// value is unusable; use Dial.
+// value is unusable; use Dial or DialClock.
 type Client struct {
 	conn    *net.UDPConn
 	timeout time.Duration
 	retries int
+	clk     clock.Clock
+
+	replies   chan []byte
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
-// Dial connects to a UDP address. timeout <= 0 and retries <= 0 select
-// the defaults.
+// Dial connects to a UDP address on the real clock. timeout <= 0 and
+// retries <= 0 select the defaults.
 func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
+	return DialClock(addr, timeout, retries, clock.Real{})
+}
+
+// DialClock is Dial with an explicit clock; reply timeouts elapse in
+// that clock's time.
+func DialClock(addr string, timeout time.Duration, retries int, clk clock.Clock) (*Client, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("udprpc: %w", err)
@@ -40,31 +65,84 @@ func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
 	if retries <= 0 {
 		retries = DefaultRetries
 	}
-	return &Client{conn: conn, timeout: timeout, retries: retries}, nil
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	c := &Client{
+		conn:    conn,
+		timeout: timeout,
+		retries: retries,
+		clk:     clk,
+		replies: make(chan []byte, 16),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
 }
 
-// Do sends req and returns the first reply datagram, retrying on
-// timeout. The returned slice is freshly allocated.
-func (c *Client) Do(req []byte) ([]byte, error) {
-	var lastErr error
+// readLoop pumps incoming datagrams into the reply channel so Do can
+// race them against clock timeouts instead of socket read deadlines.
+func (c *Client) readLoop() {
 	buf := make([]byte, 2048)
-	for attempt := 0; attempt < c.retries; attempt++ {
-		if _, err := c.conn.Write(req); err != nil {
-			return nil, fmt.Errorf("udprpc: send: %w", err)
-		}
-		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("udprpc: %w", err)
-		}
+	for {
 		n, err := c.conn.Read(buf)
 		if err != nil {
-			lastErr = err
+			select {
+			case <-c.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient read failures (e.g. ICMP port-unreachable
+			// surfacing as ECONNREFUSED on a connected socket) are
+			// handled like lost datagrams: the retry loop covers them.
 			continue
 		}
 		out := make([]byte, n)
 		copy(out, buf[:n])
-		return out, nil
+		select {
+		case c.replies <- out:
+		default:
+			// Reply queue full: drop, as a kernel socket buffer would.
+		}
+	}
+}
+
+// Do sends req and returns the first reply datagram, retrying when no
+// reply arrives within the client's timeout on its clock. The returned
+// slice is freshly allocated.
+func (c *Client) Do(req []byte) ([]byte, error) {
+	// Drop replies from abandoned earlier attempts so a stale datagram
+	// is not mistaken for the answer to this request.
+	c.drain()
+	var lastErr error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if _, err := c.conn.Write(req); err != nil {
+			return nil, fmt.Errorf("udprpc: send: %w", err)
+		}
+		select {
+		case rep := <-c.replies:
+			return rep, nil
+		case <-c.clk.After(c.timeout):
+			lastErr = ErrTimeout
+		case <-c.closed:
+			return nil, fmt.Errorf("udprpc: client closed")
+		}
 	}
 	return nil, fmt.Errorf("udprpc: no reply after %d attempts: %w", c.retries, lastErr)
+}
+
+// drain discards queued replies without blocking.
+func (c *Client) drain() {
+	for {
+		select {
+		case <-c.replies:
+		default:
+			return
+		}
+	}
 }
 
 // Send transmits a datagram without expecting a reply (monitord's
@@ -76,5 +154,12 @@ func (c *Client) Send(req []byte) error {
 	return nil
 }
 
-// Close releases the socket.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close releases the socket and stops the reader.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.conn.Close()
+	})
+	return err
+}

@@ -1,0 +1,146 @@
+package udprpc
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+)
+
+// countingServer counts requests, drops the first `drop`, and echoes
+// the rest.
+func countingServer(t *testing.T, drop int) (string, *atomic.Int64) {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	var seen atomic.Int64
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, peer, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if seen.Add(1) <= int64(drop) {
+				continue
+			}
+			conn.WriteToUDP(buf[:n], peer)
+		}
+	}()
+	return conn.LocalAddr().String(), &seen
+}
+
+// virtualWaitFor polls cond with a real-time guard so a broken virtual
+// schedule fails the test instead of hanging it.
+func virtualWaitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDoVirtualTimeRetries drives the retry schedule purely with
+// virtual advances: two timeouts elapse without a millisecond of
+// wall-clock waiting, and the third attempt succeeds.
+func TestDoVirtualTimeRetries(t *testing.T) {
+	addr, seen := countingServer(t, 2)
+	clk := clock.NewVirtual()
+	c, err := DialClock(addr, time.Second, 3, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type result struct {
+		rep []byte
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := c.Do([]byte("stubborn"))
+		done <- result{rep, err}
+	}()
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		virtualWaitFor(t, func() bool {
+			return seen.Load() >= int64(attempt) && clk.Waiters() == 1
+		})
+		clk.Advance(time.Second) // expire this attempt's reply timeout
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("Do after virtual retries: %v", res.err)
+	}
+	if string(res.rep) != "stubborn" {
+		t.Errorf("reply = %q", res.rep)
+	}
+	if got := seen.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	if clk.Elapsed() != 2*time.Second {
+		t.Errorf("virtual elapsed = %v, want exactly 2s (two timeouts)", clk.Elapsed())
+	}
+}
+
+func TestDoVirtualTimeExhaustsRetries(t *testing.T) {
+	// A listener that never replies.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	clk := clock.NewVirtual()
+	c, err := DialClock(conn.LocalAddr().String(), time.Second, 2, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do([]byte("void"))
+		done <- err
+	}()
+	for attempt := 0; attempt < 2; attempt++ {
+		virtualWaitFor(t, func() bool { return clk.Waiters() == 1 })
+		clk.Advance(time.Second)
+	}
+	err = <-done
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("error = %v, want ErrTimeout in chain", err)
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Errorf("error = %v, want attempt count", err)
+	}
+}
+
+func TestDoAfterClose(t *testing.T) {
+	addr, _ := countingServer(t, 0)
+	c, err := Dial(addr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+	if _, err := c.Do([]byte("late")); err == nil {
+		t.Error("Do on closed client: want error")
+	}
+}

@@ -6,6 +6,12 @@
 #
 #   scripts/bench.sh                      # everything, one iteration
 #   scripts/bench.sh -bench=ScaleoutStep  # just the scale-out family
+#   scripts/bench.sh -bench=OnlineWarp    # online-mode warp throughput
+#
+# BenchmarkOnlineWarp reports emu-s/s — emulated seconds per wall
+# second for the loopback-UDP daemon stack (docs/virtual-time.md) —
+# so BENCH_*.json tracks online-mode throughput alongside the solver
+# numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
