@@ -73,7 +73,7 @@ func BenchmarkSolverIteration(b *testing.B) {
 // the speedup. On a multi-core runner machines=1000/workers=auto
 // should beat workers=1 by >= 2x.
 func BenchmarkScaleoutStep(b *testing.B) {
-	for _, n := range []int{10, 100, 1000} {
+	for _, n := range []int{10, 100, 1000, 10000} {
 		for _, w := range []struct {
 			name    string
 			workers int
@@ -103,6 +103,48 @@ func BenchmarkScaleoutStep(b *testing.B) {
 				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "machine-steps/s")
 			})
 		}
+	}
+}
+
+// BenchmarkActiveSetIdle measures quiescence-based stepping
+// (solver.Config.ActiveSet) on a fully converged room: every machine
+// sits at its exact thermal fixed point, so with the active set on
+// each step only accrues energy, while off it re-runs the full kernel.
+// Temperatures are bit-identical either way (TestActiveSetQuiescence);
+// the benchmark measures the skip path's speedup on idle rooms.
+func BenchmarkActiveSetIdle(b *testing.B) {
+	const n = 1000
+	for _, as := range []struct {
+		name      string
+		activeSet bool
+	}{
+		{"off", false}, {"on", true},
+	} {
+		b.Run(fmt.Sprintf("machines=%d/activeset=%s", n, as.name), func(b *testing.B) {
+			c, err := model.DefaultCluster("room", n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := solver.New(c, solver.Config{Workers: 1, ActiveSet: as.activeSet})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Idle room: no utilization, but base power still warms the
+			// machines. Drive to the exact fixed point before timing.
+			s.Step()
+			for i := 0; i < 40 && s.LastStepDelta() != 0; i++ {
+				s.StepN(2000)
+			}
+			if s.LastStepDelta() != 0 {
+				b.Fatal("room did not reach its exact fixed point")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "machine-steps/s")
+		})
 	}
 }
 

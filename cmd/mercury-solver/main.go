@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -61,36 +63,70 @@ func (p *probeList) Set(v string) error {
 
 func main() {
 	var (
-		modelPath = flag.String("model", "", "model description file (modified dot); empty uses -machines default servers")
-		machines  = flag.Int("machines", 1, "number of default Table 1 servers when -model is not given")
-		listen    = flag.String("listen", "127.0.0.1:8367", "UDP address for on-line mode")
-		step      = flag.Duration("step", time.Second, "solver iteration step")
-		workers   = flag.Int("workers", 0, "stepping goroutines: 0 = one per CPU, 1 = serial")
-		tracePath = flag.String("trace", "", "utilization trace: run off-line instead of serving UDP")
-		outPath   = flag.String("out", "", "temperature log output for off-line mode (default stdout)")
-		sample    = flag.Duration("sample", 10*time.Second, "off-line probe sampling interval")
-		loadState = flag.String("load-state", "", "solver state checkpoint to restore before starting")
-		saveState = flag.String("save-state", "", "write a state checkpoint here on SIGINT/SIGTERM (on-line mode)")
-		warp      = flag.Float64("warp", 0, "on-line virtual-time warp factor: emulated seconds per wall second (0 = real time)")
-		probes    probeList
+		modelPath  = flag.String("model", "", "model description file (modified dot); empty uses -machines default servers")
+		machines   = flag.Int("machines", 1, "number of default Table 1 servers when -model is not given")
+		listen     = flag.String("listen", "127.0.0.1:8367", "UDP address for on-line mode")
+		step       = flag.Duration("step", time.Second, "solver iteration step")
+		workers    = flag.Int("workers", 0, "stepping goroutines: 0 = one per CPU, 1 = serial")
+		tracePath  = flag.String("trace", "", "utilization trace: run off-line instead of serving UDP")
+		outPath    = flag.String("out", "", "temperature log output for off-line mode (default stdout)")
+		sample     = flag.Duration("sample", 10*time.Second, "off-line probe sampling interval")
+		loadState  = flag.String("load-state", "", "solver state checkpoint to restore before starting")
+		saveState  = flag.String("save-state", "", "write a state checkpoint here on SIGINT/SIGTERM (on-line mode)")
+		warp       = flag.Float64("warp", 0, "on-line virtual-time warp factor: emulated seconds per wall second (0 = real time)")
+		activeSet  = flag.Bool("active-set", false, "skip machines at exact thermal fixed points (bit-identical; see docs/performance.md)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile here (stopped at exit or SIGINT/SIGTERM)")
+		memProfile = flag.String("memprofile", "", "write a heap profile here at exit")
+		probes     probeList
 	)
 	flag.Var(&probes, "probe", "machine/node to record off-line (repeatable)")
 	flag.Parse()
 
-	if err := run(*modelPath, *machines, *listen, *step, *workers, *tracePath, *outPath, *sample, *loadState, *saveState, *warp, probes); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mercury-solver:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mercury-solver:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(*modelPath, *machines, *listen, *step, *workers, *tracePath, *outPath, *sample, *loadState, *saveState, *warp, *activeSet, probes)
+
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "mercury-solver:", ferr)
+		} else {
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "mercury-solver:", werr)
+			}
+			f.Close()
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mercury-solver:", err)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }
 
 func run(modelPath string, machines int, listen string, step time.Duration, workers int,
-	tracePath, outPath string, sample time.Duration, loadState, saveState string, warp float64, probes probeList) error {
+	tracePath, outPath string, sample time.Duration, loadState, saveState string, warp float64,
+	activeSet bool, probes probeList) error {
 
 	cluster, err := loadCluster(modelPath, machines)
 	if err != nil {
 		return err
 	}
-	sol, err := solver.New(cluster, solver.Config{Step: step, Workers: workers})
+	sol, err := solver.New(cluster, solver.Config{Step: step, Workers: workers, ActiveSet: activeSet})
 	if err != nil {
 		return err
 	}

@@ -106,7 +106,7 @@ func TestRunOfflineEndToEnd(t *testing.T) {
 	if err := os.WriteFile(tracePath, []byte("0 machine1 cpu 1.0\n600 machine1 cpu 1.0\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run("", 1, "", time.Second, 0, tracePath, outPath, 60*time.Second, "", "", 0,
+	err := run("", 1, "", time.Second, 0, tracePath, outPath, 60*time.Second, "", "", 0, false,
 		probeList{{Machine: "machine1", Node: model.NodeCPU}})
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +133,7 @@ func TestRunOfflineDefaultProbes(t *testing.T) {
 	tracePath := filepath.Join(dir, "utils.trace")
 	os.WriteFile(tracePath, []byte("0 machine1 cpu 0.5\n60 machine1 cpu 0.5\n"), 0o644)
 	outPath := filepath.Join(dir, "temps.log")
-	if err := run("", 1, "", time.Second, 0, tracePath, outPath, 30*time.Second, "", "", 0, nil); err != nil {
+	if err := run("", 1, "", time.Second, 0, tracePath, outPath, 30*time.Second, "", "", 0, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -174,7 +174,7 @@ func TestRunRestoresState(t *testing.T) {
 	tracePath := filepath.Join(dir, "utils.trace")
 	os.WriteFile(tracePath, []byte("0 machine1 cpu 1.0\n60 machine1 cpu 1.0\n"), 0o644)
 	outPath := filepath.Join(dir, "temps.log")
-	err = run("", 1, "", time.Second, 0, tracePath, outPath, 60*time.Second, statePath, "", 0,
+	err = run("", 1, "", time.Second, 0, tracePath, outPath, 60*time.Second, statePath, "", 0, false,
 		probeList{{Machine: "machine1", Node: model.NodeCPU}})
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,10 @@ import (
 // constant or temperature on-line." Each method is an independent,
 // atomic operation so the UDP daemon can apply them while the stepping
 // loop runs.
+//
+// Every mutation refreshes the kernel's cached coefficient tables it
+// staled (kernel.go documents the rules) and sets cm.dirty so the
+// active set re-steps the machine.
 
 // SetNodeTemperature forces a node to the given temperature
 // immediately (a one-shot assignment; the physics evolves it from
@@ -30,6 +34,7 @@ func (s *Solver) SetNodeTemperature(machine, node string, t units.Celsius) error
 		return &ErrUnknown{Kind: "node", Name: machine + "/" + node}
 	}
 	cm.temps[idx] = float64(t)
+	cm.dirty = true
 	return nil
 }
 
@@ -50,6 +55,7 @@ func (s *Solver) PinInlet(machine string, t units.Celsius) error {
 	v := float64(t)
 	cm.inletPin = &v
 	cm.inletTemp = v
+	cm.dirty = true
 	return nil
 }
 
@@ -63,6 +69,7 @@ func (s *Solver) UnpinInlet(machine string) error {
 		return err
 	}
 	cm.inletPin = nil
+	cm.dirty = true
 	return nil
 }
 
@@ -131,8 +138,10 @@ func (s *Solver) SetHeatK(machine, a, b string, k units.WattsPerKelvin) error {
 	}
 	for i := range cm.heatEdges {
 		e := &cm.heatEdges[i]
-		if (e.a == ia && e.b == ib) || (e.a == ib && e.b == ia) {
+		if (int(e.a) == ia && int(e.b) == ib) || (int(e.a) == ib && int(e.b) == ia) {
 			e.k = float64(k)
+			cm.refreshCoupleK()
+			cm.dirty = true
 			return nil
 		}
 	}
@@ -154,7 +163,7 @@ func (s *Solver) HeatK(machine, a, b string) (units.WattsPerKelvin, error) {
 	}
 	for i := range cm.heatEdges {
 		e := &cm.heatEdges[i]
-		if (e.a == ia && e.b == ib) || (e.a == ib && e.b == ia) {
+		if (int(e.a) == ia && int(e.b) == ib) || (int(e.a) == ib && int(e.b) == ia) {
 			return units.WattsPerKelvin(e.k), nil
 		}
 	}
@@ -180,6 +189,7 @@ func (s *Solver) SetAirFraction(machine, from, to string, f units.Fraction) erro
 		e := &cm.airEdges[i]
 		if e.From == from && e.To == to {
 			e.Fraction = f
+			cm.dirty = true
 			return cm.recompileAirFlow()
 		}
 	}
@@ -200,6 +210,8 @@ func (s *Solver) SetFanFlow(machine string, flow units.CubicFeetPerMinute) error
 	}
 	cm.fanM3s = flow.CubicMetersPerSecond()
 	cm.nomCFM = flow
+	cm.refreshFlowCoef()
+	cm.dirty = true
 	return nil
 }
 
@@ -236,6 +248,8 @@ func (s *Solver) SetPowerScale(machine, component string, scale units.Fraction) 
 		return &ErrUnknown{Kind: "component", Name: machine + "/" + component}
 	}
 	cm.comps[ci].powerScale = float64(scale)
+	cm.refreshDraws()
+	cm.dirty = true
 	return nil
 }
 
@@ -250,6 +264,11 @@ func (s *Solver) SetMachinePower(machine string, on bool) error {
 	if err != nil {
 		return err
 	}
-	cm.on = on
+	if cm.on != on {
+		cm.on = on
+		cm.refreshFlowCoef()
+		cm.refreshDraws()
+		cm.dirty = true
+	}
 	return nil
 }

@@ -1,0 +1,543 @@
+package solver
+
+import (
+	"fmt"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/thermo"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// This file holds the flat step kernel: each machine's graphs are
+// compiled into CSR-style index/offset slices, and every coefficient
+// that is constant between fiddle operations (flow weights, heat
+// capacity flows, conductance sums, component power draws) is cached
+// in per-machine tables. The step loop is pure slice arithmetic —
+// no map lookups, no interface calls, no allocations — and produces
+// exactly the same bits as recomputing everything from scratch, because
+// each cached value is computed by the same expression, in the same
+// order, as the historical per-step code (docs/performance.md).
+//
+// Cache invalidation rules (see the refresh* methods):
+//
+//	refreshFlowCoef — flow weights and per-node wSum/fCoef/fkSum; stale
+//	    after anything that changes relative flows or the fan:
+//	    SetAirFraction (via recompileAirFlow), SetFanFlow,
+//	    SetMachinePower, RestoreState.
+//	refreshCoupleK  — per-couple k and per-node kSum/fkSum; stale after
+//	    SetHeatK and RestoreState.
+//	refreshDraws    — per-component draw; stale after SetUtilization,
+//	    SetPowerScale, SetMachinePower, RestoreState.
+//
+// Every mutation above also sets cm.dirty, which re-activates the
+// machine for the quiescence-based active set (Config.ActiveSet).
+
+// compiledComp is the cold, per-component metadata consulted by the
+// refresh functions and the query surface; the step loop reads only
+// the hot compKernel/curDraw arrays.
+type compiledComp struct {
+	node       int
+	power      thermo.PowerModel
+	util       model.UtilSource
+	utilIdx    int     // index into cm.utilVals; -1 for UtilNone
+	powerScale float64 // fiddle CPU-throttle hook; 1 by default
+}
+
+// compKernel is one component's slice of the hot kernel state.
+type compKernel struct {
+	invThermal float64 // 1 / (m*c)
+	draw       float64 // cached watts for the next step (refreshDraws)
+	node       int32
+}
+
+// flowIn is one incoming air edge with its cached flow weight
+// w = frac * relFlow[from] (refreshFlowCoef).
+type flowIn struct {
+	w    float64
+	from int32
+}
+
+// coupleIn is one heat edge touching an air node, with its cached
+// conductance (refreshCoupleK).
+type coupleIn struct {
+	k     float64
+	other int32
+}
+
+// airCoef bundles the cached per-node air coefficients: the sum of
+// incoming flow weights, the heat-capacity flow F = rho*c*relFlow*fan,
+// and fkSum = F + kSum.
+type airCoef struct {
+	wSum  float64
+	fCoef float64
+	fkSum float64
+}
+
+type heatEdge struct {
+	k    float64
+	a, b int32
+}
+
+type compiledMachine struct {
+	name    string
+	on      bool
+	fanM3s  float64 // nominal volumetric flow, m^3/s
+	offFan  float64 // Config.OffFanFraction, fixed at compile time
+	nomCFM  units.CubicFeetPerMinute
+	names   []string
+	index   map[string]int
+	isAir   []bool
+	temps   []float64
+	scratch []float64 // snapshot buffer reused across steps
+	netQ    []float64 // heat accumulator reused across steps
+
+	comps     []compiledComp
+	compK     []compKernel // hot mirror of comps
+	curDraw   []float64    // watts drawn last step, per comp (for Power)
+	compOf    map[int]int  // node index -> comps index
+	heatEdges []heatEdge
+
+	// Incoming air edges in CSR form: node n's edges are entries
+	// airInOff[n]..airInOff[n+1] of flowIns, in model air-edge order;
+	// airInFrac holds the raw fractions for weight refreshes.
+	airInOff  []int32
+	flowIns   []flowIn
+	airInFrac []float64
+	// Heat edges touching each air node, CSR over heatEdges order; the
+	// air traversal applies these exchanges implicitly. coupleEdge maps
+	// each couple back to its heatEdges entry for conductance refreshes.
+	coupleOff  []int32
+	couples    []coupleIn
+	coupleEdge []int32
+
+	airCoefs []airCoef // cached per-node coefficients
+
+	relFlow    []float64
+	inletIdx   int
+	airSteps   []int32 // airOrder minus the inlet node
+	exhaustIdx []int
+
+	inletPin    *float64
+	inletTemp   float64 // effective inlet this step
+	exhaustTemp float64 // flow-weighted exhaust mix, updated each step
+
+	// Utilization streams, flattened: components address their stream
+	// by utilIdx; the map is only used by the query/fiddle surface.
+	utilKeys []model.UtilSource
+	utilVals []float64
+	utilPos  map[model.UtilSource]int
+
+	roomIn []roomEdge
+
+	energy float64 // cumulative joules drawn since start
+	// airEdges mirrors the model air edges so fractions can be fiddled
+	// and flows recompiled.
+	airEdges []model.AirEdge
+
+	// Active-set state: quiet is true when the last executed step moved
+	// no node (max delta exactly 0); dirty is set by any input change
+	// (fiddle op, utilization update, inlet movement) and cleared when
+	// the machine steps. A quiet, clean machine is at a bitwise fixed
+	// point of the step map, so Config.ActiveSet skips it.
+	quiet bool
+	dirty bool
+}
+
+func compileMachine(m *model.Machine, cfg Config) (*compiledMachine, error) {
+	cm := &compiledMachine{
+		name:    m.Name,
+		on:      true,
+		fanM3s:  m.FanFlow.CubicMetersPerSecond(),
+		offFan:  float64(cfg.OffFanFraction),
+		nomCFM:  m.FanFlow,
+		index:   map[string]int{},
+		compOf:  map[int]int{},
+		utilPos: map[model.UtilSource]int{},
+		dirty:   true,
+	}
+	add := func(name string, air bool) int {
+		idx := len(cm.names)
+		cm.names = append(cm.names, name)
+		cm.isAir = append(cm.isAir, air)
+		cm.index[name] = idx
+		return idx
+	}
+	for _, c := range m.Components {
+		idx := add(c.Name, false)
+		utilIdx := -1
+		if c.Util != model.UtilNone {
+			pos, ok := cm.utilPos[c.Util]
+			if !ok {
+				pos = len(cm.utilVals)
+				cm.utilPos[c.Util] = pos
+				cm.utilKeys = append(cm.utilKeys, c.Util)
+				cm.utilVals = append(cm.utilVals, 0)
+			}
+			utilIdx = pos
+		}
+		cm.compOf[idx] = len(cm.comps)
+		cm.comps = append(cm.comps, compiledComp{
+			node:       idx,
+			power:      c.Power,
+			util:       c.Util,
+			utilIdx:    utilIdx,
+			powerScale: 1,
+		})
+		cm.compK = append(cm.compK, compKernel{
+			invThermal: 1 / float64(c.ThermalMass()),
+			node:       int32(idx),
+		})
+	}
+	cm.curDraw = make([]float64, len(cm.comps))
+	for _, a := range m.AirNodes {
+		idx := add(a.Name, true)
+		if a.Inlet {
+			cm.inletIdx = idx
+		}
+		if a.Exhaust {
+			cm.exhaustIdx = append(cm.exhaustIdx, idx)
+		}
+	}
+	for _, e := range m.HeatEdges {
+		cm.heatEdges = append(cm.heatEdges, heatEdge{
+			a: int32(cm.index[e.A]), b: int32(cm.index[e.B]), k: float64(e.K),
+		})
+	}
+	cm.buildCoupleCSR()
+	order, err := m.AirTopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		if n := cm.index[name]; n != cm.inletIdx {
+			cm.airSteps = append(cm.airSteps, int32(n))
+		}
+	}
+	cm.airEdges = append([]model.AirEdge(nil), m.AirEdges...)
+	n := len(cm.names)
+	cm.temps = make([]float64, n)
+	cm.scratch = make([]float64, n)
+	cm.netQ = make([]float64, n)
+	cm.airCoefs = make([]airCoef, n)
+	cm.inletTemp = float64(m.InletTemp)
+	cm.refreshCoupleK()
+	if err := cm.recompileAirFlow(); err != nil {
+		return nil, err
+	}
+	cm.refreshDraws()
+	return cm, nil
+}
+
+// buildCoupleCSR indexes, per air node, the heat edges touching it.
+// The topology is fixed at compile time; only the conductances change
+// (refreshCoupleK).
+func (cm *compiledMachine) buildCoupleCSR() {
+	n := len(cm.names)
+	counts := make([]int32, n+1)
+	for _, e := range cm.heatEdges {
+		if cm.isAir[e.a] {
+			counts[e.a+1]++
+		}
+		if cm.isAir[e.b] {
+			counts[e.b+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	cm.coupleOff = counts
+	total := counts[n]
+	cm.couples = make([]coupleIn, total)
+	cm.coupleEdge = make([]int32, total)
+	next := make([]int32, n)
+	copy(next, counts[:n])
+	for i, e := range cm.heatEdges {
+		if cm.isAir[e.a] {
+			p := next[e.a]
+			next[e.a]++
+			cm.coupleEdge[p] = int32(i)
+			cm.couples[p].other = e.b
+		}
+		if cm.isAir[e.b] {
+			p := next[e.b]
+			next[e.b]++
+			cm.coupleEdge[p] = int32(i)
+			cm.couples[p].other = e.a
+		}
+	}
+}
+
+// recompileAirFlow rebuilds the incoming-edge CSR and relative flows
+// from cm.airEdges, then refreshes the flow-dependent coefficient
+// tables. Called at compile time and after fiddle changes an air
+// fraction. Edges are bucketed by source node once, so the relative
+// flow propagation is linear in nodes+edges (the historical version
+// rescanned every edge for every node in topological order).
+func (cm *compiledMachine) recompileAirFlow() error {
+	n := len(cm.names)
+	ne := len(cm.airEdges)
+	from := make([]int32, ne)
+	to := make([]int32, ne)
+	frac := make([]float64, ne)
+	outCount := make([]int32, n+1)
+	inCount := make([]int32, n+1)
+	for i, e := range cm.airEdges {
+		f, okF := cm.index[e.From]
+		t, okT := cm.index[e.To]
+		if !okF || !okT {
+			return fmt.Errorf("solver: machine %s: air edge %s->%s unknown", cm.name, e.From, e.To)
+		}
+		from[i], to[i], frac[i] = int32(f), int32(t), float64(e.Fraction)
+		outCount[f+1]++
+		inCount[t+1]++
+	}
+	for i := 0; i < n; i++ {
+		outCount[i+1] += outCount[i]
+		inCount[i+1] += inCount[i]
+	}
+	// Outgoing CSR, in airEdges order within each source bucket: the
+	// relative-flow accumulations below therefore happen in exactly the
+	// order of the historical edges-rescan loop.
+	outEdge := make([]int32, ne)
+	next := make([]int32, n)
+	copy(next, outCount[:n])
+	for i := range from {
+		p := next[from[i]]
+		next[from[i]]++
+		outEdge[p] = int32(i)
+	}
+	rel := make([]float64, n)
+	rel[cm.inletIdx] = 1
+	// Topological order, so upstream flows are final before they are
+	// consumed downstream. The inlet is a root and carries flow 1.
+	propagate := func(nd int32) {
+		for p := outCount[nd]; p < outCount[nd+1]; p++ {
+			e := outEdge[p]
+			rel[to[e]] += rel[from[e]] * frac[e]
+		}
+	}
+	propagate(int32(cm.inletIdx))
+	for _, nd := range cm.airSteps {
+		propagate(nd)
+	}
+	// Incoming CSR, in airEdges order within each destination bucket
+	// (matching the historical per-node append order).
+	cm.airInOff = inCount
+	cm.flowIns = make([]flowIn, ne)
+	cm.airInFrac = make([]float64, ne)
+	copy(next, inCount[:n])
+	for i := range to {
+		p := next[to[i]]
+		next[to[i]]++
+		cm.flowIns[p].from = from[i]
+		cm.airInFrac[p] = frac[i]
+	}
+	cm.relFlow = rel
+	cm.refreshFlowCoef()
+	return nil
+}
+
+// refreshFlowCoef recomputes the cached flow weights w =
+// frac*relFlow[from], their per-node sums, the heat-capacity flow
+// coefficients F = rho*c*relFlow*fan, and fkSum = F + kSum. Must be
+// called after anything that changes relFlow, the fan throughput, or
+// the machine's power state.
+func (cm *compiledMachine) refreshFlowCoef() {
+	fan := cm.fanM3s
+	if !cm.on {
+		fan *= cm.offFan
+	}
+	for i := range cm.flowIns {
+		cm.flowIns[i].w = cm.airInFrac[i] * cm.relFlow[cm.flowIns[i].from]
+	}
+	for n := range cm.names {
+		var wsum float64
+		for i := cm.airInOff[n]; i < cm.airInOff[n+1]; i++ {
+			wsum += cm.flowIns[i].w
+		}
+		ac := &cm.airCoefs[n]
+		ac.wSum = wsum
+		ac.fCoef = units.AirDensity * cm.relFlow[n] * fan * float64(units.AirSpecificHeat)
+		ac.fkSum = ac.fCoef + cm.kSumAt(n)
+	}
+}
+
+// kSumAt accumulates node n's couple conductances in CSR order —
+// exactly the per-step summation order of the historical kernel.
+func (cm *compiledMachine) kSumAt(n int) float64 {
+	var ksum float64
+	for i := cm.coupleOff[n]; i < cm.coupleOff[n+1]; i++ {
+		ksum += cm.couples[i].k
+	}
+	return ksum
+}
+
+// refreshCoupleK recomputes the cached per-couple conductances, their
+// per-node sums, and fkSum. Must be called after a heat-edge
+// conductance changes.
+func (cm *compiledMachine) refreshCoupleK() {
+	for i, e := range cm.coupleEdge {
+		cm.couples[i].k = cm.heatEdges[e].k
+	}
+	for n := range cm.names {
+		ac := &cm.airCoefs[n]
+		ac.fkSum = ac.fCoef + cm.kSumAt(n)
+	}
+}
+
+// refreshDraws recomputes each component's cached power draw from the
+// machine's power state, utilization streams, and power scales. Must
+// be called after any of those change. The cached value is bit-equal
+// to the historical per-step recomputation because power models are
+// pure functions of utilization.
+func (cm *compiledMachine) refreshDraws() {
+	for i := range cm.comps {
+		c := &cm.comps[i]
+		draw := 0.0
+		if cm.on && c.power != nil {
+			var u units.Fraction // 0 for UtilNone
+			if c.utilIdx >= 0 {
+				u = units.Fraction(cm.utilVals[c.utilIdx])
+			}
+			draw = float64(c.power.Power(u)) * c.powerScale
+		}
+		cm.compK[i].draw = draw
+	}
+}
+
+// invalidate marks every cached coefficient stale and re-activates the
+// machine. RestoreState uses it after rewriting arbitrary state.
+func (cm *compiledMachine) invalidate() {
+	cm.refreshCoupleK()
+	cm.refreshFlowCoef()
+	cm.refreshDraws()
+	cm.dirty = true
+	cm.quiet = false
+}
+
+func setAll(cm *compiledMachine, t float64) {
+	for i := range cm.temps {
+		cm.temps[i] = t
+	}
+}
+
+// stepMachine performs heat-flow and intra-machine air-flow traversals
+// for one machine and returns the largest absolute temperature change
+// of any of its nodes during the step. It allocates nothing and reads
+// only flat slices and cached coefficients.
+func stepMachine(cm *compiledMachine, dt float64) float64 {
+	snap := cm.scratch
+	temps := cm.temps
+	copy(snap, temps)
+	netQ := cm.netQ
+	for i := range netQ {
+		netQ[i] = 0
+	}
+
+	// Traversal 1: inter-component heat flow (Equations 1, 2, 3).
+	for i := range cm.heatEdges {
+		e := &cm.heatEdges[i]
+		q := e.k * (snap[e.a] - snap[e.b]) * dt
+		netQ[e.a] -= q
+		netQ[e.b] += q
+	}
+	// Power dissipation plus component temperature updates (Equation
+	// 5). Each component owns its node, and all heat-edge contributions
+	// are in, so its netQ is final once its own draw is added — the
+	// temperature update fuses into the same pass. Energy accrues
+	// through a register with the same per-component addition sequence
+	// the accumulator field would see.
+	energy := cm.energy
+	curDraw := cm.curDraw
+	for i := range cm.compK {
+		c := &cm.compK[i]
+		draw := c.draw
+		curDraw[i] = draw
+		q := draw * dt
+		nq := netQ[c.node] + q
+		netQ[c.node] = nq
+		energy += q
+		temps[c.node] = snap[c.node] + nq*c.invThermal
+	}
+	cm.energy = energy
+
+	// Traversal 2: intra-machine air movement. Air regions are
+	// processed in topological order so each region mixes the
+	// temperatures its upstream regions just computed. Heat exchange
+	// with coupled nodes is applied implicitly: the energy balance of
+	// the air parcel crossing the region,
+	//
+	//	F (T_out - T_mix) = sum_j k_j (T_j - T_out)
+	//
+	// with F the heat-capacity flow rho*c*flow (W/K), gives
+	//
+	//	T_out = (F T_mix + sum_j k_j T_j) / (F + sum_j k_j),
+	//
+	// a convex combination of the mix and the coupled temperatures —
+	// unconditionally stable even at the small natural-draft flows of
+	// powered-off machines, where the explicit form diverges. It is
+	// also exactly the air equation of the analytic steady state.
+	// F, sum_j k_j, and the flow weights are cached (refreshFlowCoef,
+	// refreshCoupleK); only the temperature-dependent sums run here.
+	// The inlet is assigned up front: it precedes every reader in
+	// topological order, so airSteps never needs the branch.
+	temps[cm.inletIdx] = cm.inletTemp
+	airInOff, flowIns := cm.airInOff, cm.flowIns
+	coupleOff, couples := cm.coupleOff, cm.couples
+	for _, n := range cm.airSteps {
+		var tsum float64
+		for _, in := range flowIns[airInOff[n]:airInOff[n+1]] {
+			tsum += in.w * temps[in.from]
+		}
+		ac := &cm.airCoefs[n]
+		mix := snap[n] // stagnant region keeps its old temperature
+		if ac.wSum > 0 {
+			mix = tsum / ac.wSum
+		}
+		var kT float64
+		for _, cp := range couples[coupleOff[n]:coupleOff[n+1]] {
+			kT += cp.k * temps[cp.other]
+		}
+		if ac.fkSum > 0 {
+			temps[n] = (ac.fCoef*mix + kT) / ac.fkSum
+		} else {
+			temps[n] = mix
+		}
+	}
+
+	// Exhaust mix for the room-level traversal of the next step.
+	var wsum, tsum float64
+	for _, x := range cm.exhaustIdx {
+		w := cm.relFlow[x]
+		wsum += w
+		tsum += w * temps[x]
+	}
+	if wsum > 0 {
+		cm.exhaustTemp = tsum / wsum
+	}
+
+	var maxDelta float64
+	for i, t := range temps {
+		d := t - snap[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return maxDelta
+}
+
+// stepQuiescent advances a machine that Config.ActiveSet proved to be
+// at a bitwise fixed point: temperatures, exhaust mix, and per-step
+// deltas are unchanged by construction, so only the energy accrual
+// runs — as the same per-component sequential additions stepMachine
+// performs, keeping the energy counter bit-identical too.
+func stepQuiescent(cm *compiledMachine, dt float64) {
+	energy := cm.energy
+	for i := range cm.compK {
+		energy += cm.compK[i].draw * dt
+	}
+	cm.energy = energy
+}

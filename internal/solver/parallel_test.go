@@ -16,12 +16,16 @@ import (
 // wrong: mixed utilizations, an off machine, a pinned inlet, and a
 // fiddled conductance.
 func buildBusyRoom(t testing.TB, n, workers int) *Solver {
+	return buildBusyRoomCfg(t, n, Config{Workers: workers})
+}
+
+func buildBusyRoomCfg(t testing.TB, n int, cfg Config) *Solver {
 	t.Helper()
 	c, err := model.DefaultCluster("room", n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(c, Config{Workers: workers})
+	s, err := New(c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,28 +51,33 @@ func buildBusyRoom(t testing.TB, n, workers int) *Solver {
 
 // TestParallelDeterminism asserts the ISSUE's core guarantee: after
 // 1000 steps, node temperatures are bit-identical between the legacy
-// serial loop (Workers=1) and every parallel worker count.
+// serial loop (Workers=1) and every parallel worker count — with the
+// quiescence-based active set both off and on (the reference is always
+// exhaustive serial stepping, so this also proves ActiveSet changes
+// nothing).
 func TestParallelDeterminism(t *testing.T) {
 	const n, steps = 16, 1000
 	ref := buildBusyRoom(t, n, 1)
 	ref.StepN(steps)
 	want := ref.Snapshot()
 
-	for _, workers := range []int{0, 2, 3, 5, 8} {
-		s := buildBusyRoom(t, n, workers)
-		s.StepN(steps)
-		got := s.Snapshot()
-		for machine, nodes := range want {
-			for node, wt := range nodes {
-				gt := got[machine][node]
-				if math.Float64bits(float64(gt)) != math.Float64bits(float64(wt)) {
-					t.Errorf("workers=%d: %s/%s = %v, serial %v (not bit-identical)",
-						workers, machine, node, gt, wt)
+	for _, activeSet := range []bool{false, true} {
+		for _, workers := range []int{0, 1, 2, 3, 5, 8} {
+			s := buildBusyRoomCfg(t, n, Config{Workers: workers, ActiveSet: activeSet})
+			s.StepN(steps)
+			got := s.Snapshot()
+			for machine, nodes := range want {
+				for node, wt := range nodes {
+					gt := got[machine][node]
+					if math.Float64bits(float64(gt)) != math.Float64bits(float64(wt)) {
+						t.Errorf("activeset=%v workers=%d: %s/%s = %v, serial %v (not bit-identical)",
+							activeSet, workers, machine, node, gt, wt)
+					}
 				}
 			}
-		}
-		if got, want := s.LastStepDelta(), ref.LastStepDelta(); got != want {
-			t.Errorf("workers=%d: LastStepDelta %v, serial %v", workers, got, want)
+			if got, want := s.LastStepDelta(), ref.LastStepDelta(); got != want {
+				t.Errorf("activeset=%v workers=%d: LastStepDelta %v, serial %v", activeSet, workers, got, want)
+			}
 		}
 	}
 }

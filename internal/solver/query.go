@@ -2,6 +2,7 @@ package solver
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -114,10 +115,19 @@ func (s *Solver) SetUtilization(machine string, src model.UtilSource, u units.Fr
 	if err != nil {
 		return err
 	}
-	if _, ok := cm.utils[src]; !ok {
+	pos, ok := cm.utilPos[src]
+	if !ok {
 		return &ErrUnknown{Kind: "utilization source", Name: machine + "/" + string(src)}
 	}
-	cm.utils[src] = float64(u.Clamp())
+	// Only a bitwise change invalidates the cached draws and
+	// re-activates the machine: monitord streams repeat identical
+	// samples at steady load, and those must not break quiescence.
+	v := float64(u.Clamp())
+	if math.Float64bits(v) != math.Float64bits(cm.utilVals[pos]) {
+		cm.utilVals[pos] = v
+		cm.refreshDraws()
+		cm.dirty = true
+	}
 	return nil
 }
 
@@ -129,11 +139,11 @@ func (s *Solver) Utilization(machine string, src model.UtilSource) (units.Fracti
 	if err != nil {
 		return 0, err
 	}
-	u, ok := cm.utils[src]
+	pos, ok := cm.utilPos[src]
 	if !ok {
 		return 0, &ErrUnknown{Kind: "utilization source", Name: machine + "/" + string(src)}
 	}
-	return units.Fraction(u), nil
+	return units.Fraction(cm.utilVals[pos]), nil
 }
 
 // Power returns the machine's total power draw during the most recent
@@ -147,7 +157,7 @@ func (s *Solver) Power(machine string) (units.Watts, error) {
 	}
 	var w float64
 	for i := range cm.comps {
-		w += cm.comps[i].currentDraw
+		w += cm.curDraw[i]
 	}
 	return units.Watts(w), nil
 }

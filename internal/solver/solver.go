@@ -17,18 +17,19 @@
 // Within one step, per-machine work is sharded across a persistent
 // worker pool (see Config.Workers and docs/performance.md): traversal 3
 // runs as a parallel phase over all machines, a barrier, then
-// traversals 1+2 run as a second parallel phase. Temperatures are
+// traversals 1+2 run as a second parallel phase. Per-machine work runs
+// on the flat compiled kernel (kernel.go). Temperatures are
 // bit-identical for every worker count.
 package solver
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
 
 	"github.com/darklab/mercury/internal/model"
-	"github.com/darklab/mercury/internal/thermo"
 	"github.com/darklab/mercury/internal/units"
 )
 
@@ -54,6 +55,17 @@ type Config struct {
 	// worker count — the knob only trades synchronization overhead
 	// against parallelism. Negative values are rejected by New.
 	Workers int
+	// ActiveSet enables quiescence-based stepping: a machine whose last
+	// executed step moved no node (max delta exactly 0) and whose
+	// inputs — effective inlet, utilizations, fiddled constants, power
+	// state — have not changed since is at a bitwise fixed point of the
+	// step map, so the solver skips its traversals and only accrues its
+	// (constant) power draw and energy. The machine re-activates the
+	// moment any input changes. Because only true fixed points are
+	// skipped, temperatures remain bit-identical to exhaustive
+	// stepping; mostly-idle rooms step dramatically faster (see
+	// docs/performance.md).
+	ActiveSet bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -86,70 +98,6 @@ type roomEdge struct {
 	frac float64
 }
 
-type airIn struct {
-	from int
-	frac float64
-}
-
-// coupleRef points an air node at one of its heat edges.
-type coupleRef struct {
-	edge  int
-	other int
-}
-
-type compiledComp struct {
-	node        int
-	invThermal  float64 // 1 / (m*c)
-	power       thermo.PowerModel
-	util        model.UtilSource
-	powerScale  float64 // fiddle CPU-throttle hook; 1 by default
-	currentDraw float64 // watts drawn last step (for Power queries)
-}
-
-type heatEdge struct {
-	a, b int
-	k    float64
-}
-
-type compiledMachine struct {
-	name    string
-	on      bool
-	fanM3s  float64 // nominal volumetric flow, m^3/s
-	nomCFM  units.CubicFeetPerMinute
-	names   []string
-	index   map[string]int
-	isAir   []bool
-	temps   []float64
-	scratch []float64 // snapshot buffer reused across steps
-	netQ    []float64 // heat accumulator reused across steps
-
-	comps     []compiledComp
-	compOf    map[int]int // node index -> comps index
-	heatEdges []heatEdge
-
-	airOrder []int
-	airIn    map[int][]airIn
-	// airCouple lists, per air node, the heat edges touching it (by
-	// index into heatEdges) and the node on the other side; the air
-	// traversal applies these exchanges implicitly.
-	airCouple  map[int][]coupleRef
-	relFlow    []float64
-	inletIdx   int
-	exhaustIdx []int
-
-	inletPin    *float64
-	inletTemp   float64 // effective inlet this step
-	exhaustTemp float64 // flow-weighted exhaust mix, updated each step
-
-	utils  map[model.UtilSource]float64
-	roomIn []roomEdge
-
-	energy float64 // cumulative joules drawn since start
-	// airEdges mirrors the model air edges so fractions can be fiddled
-	// and flows recompiled.
-	airEdges []model.AirEdge
-}
-
 type sourceState struct {
 	name   string
 	supply float64
@@ -159,6 +107,7 @@ type sourceState struct {
 type Solver struct {
 	mu       sync.Mutex
 	cfg      Config
+	dt       float64 // cfg.Step in seconds, fixed at New
 	machines []*compiledMachine
 	byName   map[string]*compiledMachine
 	sources  []*sourceState
@@ -169,11 +118,21 @@ type Solver struct {
 	// Parallel stepping: machines are sharded into contiguous chunks
 	// once at compile time; a persistent worker pool runs the two
 	// phases of each step over the shards with a barrier in between.
+	// The phase closures are built once at New so stepping allocates
+	// nothing.
 	workers    int
 	shards     [][2]int
 	shardDelta []float64 // per-shard max |dT| of the last step
 	lastDelta  float64   // max |dT| across all machines, last step
 	pool       *workerPool
+	phaseInlet func(shard, lo, hi int)
+	phaseStep  func(shard, lo, hi int)
+
+	// Scratch buffers for SteadyState's dense linear system, reused
+	// under mu.
+	steadyA []float64
+	steadyB []float64
+	steadyX []float64
 }
 
 // New compiles a validated cluster into a Solver. The cluster is not
@@ -189,6 +148,7 @@ func New(c *model.Cluster, cfg Config) (*Solver, error) {
 	}
 	s := &Solver{
 		cfg:    cfg,
+		dt:     cfg.Step.Seconds(),
 		byName: map[string]*compiledMachine{},
 		srcIdx: map[string]int{},
 	}
@@ -230,6 +190,8 @@ func New(c *model.Cluster, cfg Config) (*Solver, error) {
 	s.workers = resolveWorkers(cfg.Workers)
 	s.shards = shardBounds(len(s.machines), s.workers)
 	s.shardDelta = make([]float64, len(s.shards))
+	s.phaseInlet = s.runInletPhase
+	s.phaseStep = s.runStepPhase
 	if s.workers > 1 && len(s.shards) > 1 {
 		s.pool = newWorkerPool(s.workers)
 		// The pool never references the Solver, so the workers shut
@@ -256,114 +218,6 @@ func NewSingle(m *model.Machine, cfg Config) (*Solver, error) {
 		},
 	}
 	return New(c, cfg)
-}
-
-func compileMachine(m *model.Machine, cfg Config) (*compiledMachine, error) {
-	cm := &compiledMachine{
-		name:   m.Name,
-		on:     true,
-		fanM3s: m.FanFlow.CubicMetersPerSecond(),
-		nomCFM: m.FanFlow,
-		index:  map[string]int{},
-		compOf: map[int]int{},
-		airIn:  map[int][]airIn{},
-		utils:  map[model.UtilSource]float64{},
-	}
-	add := func(name string, air bool) int {
-		idx := len(cm.names)
-		cm.names = append(cm.names, name)
-		cm.isAir = append(cm.isAir, air)
-		cm.index[name] = idx
-		return idx
-	}
-	for _, c := range m.Components {
-		idx := add(c.Name, false)
-		cm.compOf[idx] = len(cm.comps)
-		cm.comps = append(cm.comps, compiledComp{
-			node:       idx,
-			invThermal: 1 / float64(c.ThermalMass()),
-			power:      c.Power,
-			util:       c.Util,
-			powerScale: 1,
-		})
-		if c.Util != model.UtilNone {
-			cm.utils[c.Util] = 0
-		}
-	}
-	for _, a := range m.AirNodes {
-		idx := add(a.Name, true)
-		if a.Inlet {
-			cm.inletIdx = idx
-		}
-		if a.Exhaust {
-			cm.exhaustIdx = append(cm.exhaustIdx, idx)
-		}
-	}
-	for _, e := range m.HeatEdges {
-		cm.heatEdges = append(cm.heatEdges, heatEdge{a: cm.index[e.A], b: cm.index[e.B], k: float64(e.K)})
-	}
-	cm.airCouple = map[int][]coupleRef{}
-	for i, e := range cm.heatEdges {
-		if cm.isAir[e.a] {
-			cm.airCouple[e.a] = append(cm.airCouple[e.a], coupleRef{edge: i, other: e.b})
-		}
-		if cm.isAir[e.b] {
-			cm.airCouple[e.b] = append(cm.airCouple[e.b], coupleRef{edge: i, other: e.a})
-		}
-	}
-	order, err := m.AirTopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	for _, name := range order {
-		cm.airOrder = append(cm.airOrder, cm.index[name])
-	}
-	cm.airEdges = append([]model.AirEdge(nil), m.AirEdges...)
-	cm.temps = make([]float64, len(cm.names))
-	cm.scratch = make([]float64, len(cm.names))
-	cm.netQ = make([]float64, len(cm.names))
-	cm.inletTemp = float64(m.InletTemp)
-	if err := cm.recompileAirFlow(); err != nil {
-		return nil, err
-	}
-	return cm, nil
-}
-
-// recompileAirFlow rebuilds incoming-edge lists and relative flows from
-// cm.airEdges. Called at compile time and after fiddle changes an air
-// fraction.
-func (cm *compiledMachine) recompileAirFlow() error {
-	cm.airIn = map[int][]airIn{}
-	rel := make([]float64, len(cm.names))
-	rel[cm.inletIdx] = 1
-	// airOrder is topological, so upstream flows are final before they
-	// are consumed downstream.
-	for _, n := range cm.airOrder {
-		for _, e := range cm.airEdges {
-			from, okF := cm.index[e.From]
-			to, okT := cm.index[e.To]
-			if !okF || !okT {
-				return fmt.Errorf("solver: machine %s: air edge %s->%s unknown", cm.name, e.From, e.To)
-			}
-			if from != n {
-				continue
-			}
-			rel[to] += rel[from] * float64(e.Fraction)
-		}
-	}
-	for _, e := range cm.airEdges {
-		from := cm.index[e.From]
-		to := cm.index[e.To]
-		cm.airIn[to] = append(cm.airIn[to], airIn{from: from, frac: float64(e.Fraction)})
-	}
-	cm.relFlow = rel
-	return nil
-}
-
-func setAll(cm *compiledMachine, t float64) {
-	for i := range cm.temps {
-		cm.temps[i] = t
-	}
 }
 
 // mixInlet computes a machine's effective inlet temperature from its
@@ -435,18 +289,12 @@ func (s *Solver) Steps() uint64 {
 }
 
 func (s *Solver) stepLocked() {
-	dt := s.cfg.Step.Seconds()
-
 	// Phase 1 — traversal 3 (inter-machine) first: fix every inlet
 	// from the previous step's exhaust mixes and the sources. Each
 	// machine writes only its own inletTemp and reads only exhaust
 	// temperatures frozen by the previous step, so shards are
 	// independent.
-	s.runPhase(func(_, lo, hi int) {
-		for _, cm := range s.machines[lo:hi] {
-			cm.inletTemp = s.mixInlet(cm)
-		}
-	})
+	s.runPhase(s.phaseInlet)
 
 	// Phase 2 — per-machine heat and air traversals. The barrier
 	// between the phases guarantees every inlet is fixed before any
@@ -454,15 +302,7 @@ func (s *Solver) stepLocked() {
 	// temperature delta; the reduction below is order-independent, so
 	// steady-state detection is also deterministic across worker
 	// counts.
-	s.runPhase(func(shard, lo, hi int) {
-		var d float64
-		for _, cm := range s.machines[lo:hi] {
-			if md := stepMachine(cm, dt, s.cfg); md > d {
-				d = md
-			}
-		}
-		s.shardDelta[shard] = d
-	})
+	s.runPhase(s.phaseStep)
 	var d float64
 	for _, sd := range s.shardDelta {
 		if sd > d {
@@ -475,6 +315,39 @@ func (s *Solver) stepLocked() {
 	s.steps++
 }
 
+// runInletPhase is phase 1 over one shard. A machine whose effective
+// inlet moved (compared bitwise) is re-activated for the active set.
+func (s *Solver) runInletPhase(_, lo, hi int) {
+	for _, cm := range s.machines[lo:hi] {
+		in := s.mixInlet(cm)
+		if math.Float64bits(in) != math.Float64bits(cm.inletTemp) {
+			cm.inletTemp = in
+			cm.dirty = true
+		}
+	}
+}
+
+// runStepPhase is phase 2 over one shard. With Config.ActiveSet, quiet
+// machines with unchanged inputs are at a bitwise fixed point and only
+// accrue energy; everything else runs the full kernel.
+func (s *Solver) runStepPhase(shard, lo, hi int) {
+	var d float64
+	skip := s.cfg.ActiveSet
+	for _, cm := range s.machines[lo:hi] {
+		if skip && cm.quiet && !cm.dirty {
+			stepQuiescent(cm, s.dt)
+			continue
+		}
+		md := stepMachine(cm, s.dt)
+		cm.quiet = md == 0
+		cm.dirty = false
+		if md > d {
+			d = md
+		}
+	}
+	s.shardDelta[shard] = d
+}
+
 // runPhase executes fn over every machine shard and waits for all of
 // them — on the worker pool when one exists, inline otherwise.
 func (s *Solver) runPhase(fn func(shard, lo, hi int)) {
@@ -485,112 +358,4 @@ func (s *Solver) runPhase(fn func(shard, lo, hi int)) {
 		return
 	}
 	s.pool.runPhase(s.shards, fn)
-}
-
-// stepMachine performs heat-flow and intra-machine air-flow traversals
-// for one machine and returns the largest absolute temperature change
-// of any of its nodes during the step.
-func stepMachine(cm *compiledMachine, dt float64, cfg Config) float64 {
-	snap := cm.scratch
-	copy(snap, cm.temps)
-	netQ := cm.netQ
-	for i := range netQ {
-		netQ[i] = 0
-	}
-
-	// Traversal 1: inter-component heat flow (Equations 1, 2, 3).
-	for _, e := range cm.heatEdges {
-		q := e.k * (snap[e.a] - snap[e.b]) * dt
-		netQ[e.a] -= q
-		netQ[e.b] += q
-	}
-	for i := range cm.comps {
-		c := &cm.comps[i]
-		draw := 0.0
-		if cm.on && c.power != nil {
-			u := units.Fraction(cm.utils[c.util]) // 0 for UtilNone
-			draw = float64(c.power.Power(u)) * c.powerScale
-		}
-		c.currentDraw = draw
-		netQ[c.node] += draw * dt
-		cm.energy += draw * dt
-	}
-	// Component temperature updates (Equation 5).
-	for i := range cm.comps {
-		c := &cm.comps[i]
-		cm.temps[c.node] = snap[c.node] + netQ[c.node]*c.invThermal
-	}
-
-	// Traversal 2: intra-machine air movement. Air regions are
-	// processed in topological order so each region mixes the
-	// temperatures its upstream regions just computed. Heat exchange
-	// with coupled nodes is applied implicitly: the energy balance of
-	// the air parcel crossing the region,
-	//
-	//	F (T_out - T_mix) = sum_j k_j (T_j - T_out)
-	//
-	// with F the heat-capacity flow rho*c*flow (W/K), gives
-	//
-	//	T_out = (F T_mix + sum_j k_j T_j) / (F + sum_j k_j),
-	//
-	// a convex combination of the mix and the coupled temperatures —
-	// unconditionally stable even at the small natural-draft flows of
-	// powered-off machines, where the explicit form diverges. It is
-	// also exactly the air equation of the analytic steady state.
-	fan := cm.fanM3s
-	if !cm.on {
-		fan *= float64(cfg.OffFanFraction)
-	}
-	for _, n := range cm.airOrder {
-		if n == cm.inletIdx {
-			cm.temps[n] = cm.inletTemp
-			continue
-		}
-		ins := cm.airIn[n]
-		var wsum, tsum float64
-		for _, in := range ins {
-			w := in.frac * cm.relFlow[in.from]
-			wsum += w
-			tsum += w * cm.temps[in.from]
-		}
-		mix := snap[n] // stagnant region keeps its old temperature
-		if wsum > 0 {
-			mix = tsum / wsum
-		}
-		F := units.AirDensity * cm.relFlow[n] * fan * float64(units.AirSpecificHeat)
-		var kSum, kT float64
-		for _, e := range cm.airCouple[n] {
-			k := cm.heatEdges[e.edge].k
-			kSum += k
-			kT += k * cm.temps[e.other]
-		}
-		if F+kSum > 0 {
-			cm.temps[n] = (F*mix + kT) / (F + kSum)
-		} else {
-			cm.temps[n] = mix
-		}
-	}
-
-	// Exhaust mix for the room-level traversal of the next step.
-	var wsum, tsum float64
-	for _, x := range cm.exhaustIdx {
-		w := cm.relFlow[x]
-		wsum += w
-		tsum += w * cm.temps[x]
-	}
-	if wsum > 0 {
-		cm.exhaustTemp = tsum / wsum
-	}
-
-	var maxDelta float64
-	for i, t := range cm.temps {
-		d := t - snap[i]
-		if d < 0 {
-			d = -d
-		}
-		if d > maxDelta {
-			maxDelta = d
-		}
-	}
-	return maxDelta
 }

@@ -68,8 +68,8 @@ func (s *Solver) SaveState() *State {
 		for i, name := range cm.names {
 			ms.Temps[name] = units.Celsius(cm.temps[i])
 		}
-		for src, u := range cm.utils {
-			ms.Utils[src] = units.Fraction(u)
+		for i, src := range cm.utilKeys {
+			ms.Utils[src] = units.Fraction(cm.utilVals[i])
 		}
 		if cm.inletPin != nil {
 			ms.InletPinned = true
@@ -126,7 +126,7 @@ func (s *Solver) RestoreState(st *State) error {
 			}
 		}
 		for src := range ms.Utils {
-			if _, ok := cm.utils[src]; !ok {
+			if _, ok := cm.utilPos[src]; !ok {
 				return fmt.Errorf("solver: restore: machine %q has no utilization source %q", mname, src)
 			}
 		}
@@ -144,7 +144,7 @@ func (s *Solver) RestoreState(st *State) error {
 			cm.temps[cm.index[node]] = float64(temp)
 		}
 		for src, u := range ms.Utils {
-			cm.utils[src] = float64(u.Clamp())
+			cm.utilVals[cm.utilPos[src]] = float64(u.Clamp())
 		}
 		if ms.InletPinned {
 			v := float64(ms.InletPin)
@@ -194,6 +194,10 @@ func (s *Solver) RestoreState(st *State) error {
 				return err
 			}
 		}
+		// The restore may have rewritten any input the kernel caches
+		// coefficients for, so rebuild them all and re-activate the
+		// machine (kernel.go documents the invalidation rules).
+		cm.invalidate()
 	}
 	return nil
 }

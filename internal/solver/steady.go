@@ -72,12 +72,22 @@ func (s *Solver) SteadyState(machine string) (map[string]units.Celsius, error) {
 	}
 
 	n := len(cm.names)
-	// A x = b
-	A := make([][]float64, n)
-	for i := range A {
-		A[i] = make([]float64, n)
+	// A x = b, row-major in a flat buffer reused (under the solver
+	// lock) across calls — calibration sweeps call SteadyState in
+	// tight loops, and the fresh matrix-of-rows allocation dominated.
+	if cap(s.steadyA) < n*n {
+		s.steadyA = make([]float64, n*n)
+		s.steadyB = make([]float64, n)
+		s.steadyX = make([]float64, n)
 	}
-	b := make([]float64, n)
+	A := s.steadyA[:n*n]
+	for i := range A {
+		A[i] = 0
+	}
+	b := s.steadyB[:n]
+	for i := range b {
+		b[i] = 0
+	}
 
 	inlet := s.mixInlet(cm)
 	fan := cm.fanM3s
@@ -87,7 +97,7 @@ func (s *Solver) SteadyState(machine string) (map[string]units.Celsius, error) {
 
 	// Heat-edge coupling contributes to both component and air rows.
 	type coupling struct {
-		j int
+		j int32
 		k float64
 	}
 	couplings := make([][]coupling, n)
@@ -102,18 +112,22 @@ func (s *Solver) SteadyState(machine string) (map[string]units.Celsius, error) {
 		c := &cm.comps[i]
 		isComp[c.node] = true
 		if cm.on && c.power != nil {
-			u := units.Fraction(cm.utils[c.util])
+			var u units.Fraction // 0 for UtilNone
+			if c.utilIdx >= 0 {
+				u = units.Fraction(cm.utilVals[c.utilIdx])
+			}
 			power[c.node] = float64(c.power.Power(u)) * c.powerScale
 		}
 	}
 
 	for i := 0; i < n; i++ {
+		row := A[i*n : (i+1)*n : (i+1)*n]
 		switch {
 		case isComp[i]:
 			// sum_j k (T_j - T_i) + P = 0
 			for _, cpl := range couplings[i] {
-				A[i][i] += cpl.k
-				A[i][cpl.j] -= cpl.k
+				row[i] += cpl.k
+				row[cpl.j] -= cpl.k
 			}
 			b[i] = power[i]
 			if len(couplings[i]) == 0 {
@@ -122,29 +136,29 @@ func (s *Solver) SteadyState(machine string) (map[string]units.Celsius, error) {
 				if power[i] != 0 {
 					return nil, fmt.Errorf("solver: component %q has power but no heat edges", cm.names[i])
 				}
-				A[i][i] = 1
+				row[i] = 1
 				b[i] = inlet
 			}
 		case i == cm.inletIdx:
-			A[i][i] = 1
+			row[i] = 1
 			b[i] = inlet
 		default:
 			// Air region: T_a - mix - sum k (T_j - T_a)/F = 0.
 			var wsum float64
-			for _, in := range cm.airIn[i] {
-				wsum += in.frac * cm.relFlow[in.from]
+			for p := cm.airInOff[i]; p < cm.airInOff[i+1]; p++ {
+				wsum += cm.airInFrac[p] * cm.relFlow[cm.flowIns[p].from]
 			}
-			A[i][i] = 1
+			row[i] = 1
 			if wsum > 0 {
-				for _, in := range cm.airIn[i] {
-					A[i][in.from] -= in.frac * cm.relFlow[in.from] / wsum
+				for p := cm.airInOff[i]; p < cm.airInOff[i+1]; p++ {
+					row[cm.flowIns[p].from] -= cm.airInFrac[p] * cm.relFlow[cm.flowIns[p].from] / wsum
 				}
 			}
 			F := units.AirDensity * cm.relFlow[i] * fan * float64(units.AirSpecificHeat)
 			if F > 0 {
 				for _, cpl := range couplings[i] {
-					A[i][i] += cpl.k / F
-					A[i][cpl.j] -= cpl.k / F
+					row[i] += cpl.k / F
+					row[cpl.j] -= cpl.k / F
 				}
 			}
 			b[i] = 0
@@ -155,8 +169,8 @@ func (s *Solver) SteadyState(machine string) (map[string]units.Celsius, error) {
 		}
 	}
 
-	x, err := solveLinear(A, b)
-	if err != nil {
+	x := s.steadyX[:n]
+	if err := solveLinear(A, b, x, n); err != nil {
 		return nil, fmt.Errorf("solver: steady state of %s: %w", machine, err)
 	}
 	out := make(map[string]units.Celsius, n)
@@ -167,42 +181,48 @@ func (s *Solver) SteadyState(machine string) (map[string]units.Celsius, error) {
 }
 
 // solveLinear performs in-place Gaussian elimination with partial
-// pivoting on the dense system A x = b.
-func solveLinear(A [][]float64, b []float64) ([]float64, error) {
-	n := len(A)
+// pivoting on the dense n×n system A x = b, where A is row-major in a
+// flat buffer and the solution is written into x. It allocates
+// nothing, so SteadyState can reuse one set of scratch buffers across
+// calls.
+func solveLinear(A, b, x []float64, n int) error {
 	for col := 0; col < n; col++ {
 		// Pivot.
 		pivot := col
-		best := math.Abs(A[col][col])
+		best := math.Abs(A[col*n+col])
 		for r := col + 1; r < n; r++ {
-			if v := math.Abs(A[r][col]); v > best {
+			if v := math.Abs(A[r*n+col]); v > best {
 				best, pivot = v, r
 			}
 		}
 		if best < 1e-12 {
-			return nil, fmt.Errorf("singular system at column %d", col)
+			return fmt.Errorf("singular system at column %d", col)
 		}
-		A[col], A[pivot] = A[pivot], A[col]
-		b[col], b[pivot] = b[pivot], b[col]
+		if pivot != col {
+			pr, cr := A[pivot*n:(pivot+1)*n], A[col*n:(col+1)*n]
+			for c := range cr {
+				cr[c], pr[c] = pr[c], cr[c]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
 		// Eliminate below.
 		for r := col + 1; r < n; r++ {
-			f := A[r][col] / A[col][col]
+			f := A[r*n+col] / A[col*n+col]
 			if f == 0 {
 				continue
 			}
 			for c := col; c < n; c++ {
-				A[r][c] -= f * A[col][c]
+				A[r*n+c] -= f * A[col*n+c]
 			}
 			b[r] -= f * b[col]
 		}
 	}
-	x := make([]float64, n)
 	for r := n - 1; r >= 0; r-- {
 		sum := b[r]
 		for c := r + 1; c < n; c++ {
-			sum -= A[r][c] * x[c]
+			sum -= A[r*n+c] * x[c]
 		}
-		x[r] = sum / A[r][r]
+		x[r] = sum / A[r*n+r]
 	}
-	return x, nil
+	return nil
 }

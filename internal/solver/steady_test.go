@@ -106,14 +106,14 @@ func TestSteadyStateIsolatedPoweredComponent(t *testing.T) {
 }
 
 func TestSolveLinear(t *testing.T) {
-	A := [][]float64{
-		{2, 1, 0},
-		{1, 3, 1},
-		{0, 1, 2},
+	A := []float64{
+		2, 1, 0,
+		1, 3, 1,
+		0, 1, 2,
 	}
 	b := []float64{5, 10, 7}
-	x, err := solveLinear(A, b)
-	if err != nil {
+	x := make([]float64, 3)
+	if err := solveLinear(A, b, x, 3); err != nil {
 		t.Fatal(err)
 	}
 	// Verify by substitution into the original system.
@@ -135,11 +135,11 @@ func TestSolveLinear(t *testing.T) {
 }
 
 func TestSolveLinearSingular(t *testing.T) {
-	A := [][]float64{
-		{1, 1},
-		{2, 2},
+	A := []float64{
+		1, 1,
+		2, 2,
 	}
-	if _, err := solveLinear(A, []float64{1, 2}); err == nil {
+	if err := solveLinear(A, []float64{1, 2}, make([]float64, 2), 2); err == nil {
 		t.Error("singular system: want error")
 	}
 }

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_diff.sh — compare the machine-steps/s metrics of two
+# BENCH_*.json files (as written by scripts/bench.sh) and warn about
+# throughput regressions:
+#
+#   scripts/bench_diff.sh BENCH_20260806.json BENCH_now.json [min-ratio]
+#
+# For every benchmark present in both files, the current value is
+# compared against the baseline; a ratio below min-ratio (default 0.5,
+# i.e. current throughput less than half the baseline) produces a
+# warning. The tolerance is deliberately generous and the script always
+# exits 0: shared CI runners are far too noisy for a hard gate (see
+# docs/performance.md), so this is a tripwire for gross regressions,
+# not a pass/fail check. GitHub Actions renders the `::warning::`
+# lines as annotations.
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 baseline.json current.json [min-ratio]" >&2
+    exit 2
+fi
+base="$1"
+cur="$2"
+minratio="${3:-0.5}"
+
+# The JSON is machine-written, one benchmark object per line, so a sed
+# scrape is reliable: "name value" pairs for benchmarks that report
+# machine-steps/s.
+extract() {
+    sed -n 's#.*"name": "\([^"]*\)".*"machine-steps/s": \([0-9.e+]*\).*#\1 \2#p' "$1"
+}
+
+basetmp="$(mktemp)"
+trap 'rm -f "$basetmp"' EXIT
+extract "$base" > "$basetmp"
+
+extract "$cur" | awk -v minratio="$minratio" -v basefile="$base" '
+NR == FNR { baseline[$1] = $2; next }
+$1 in baseline {
+    compared++
+    ratio = $2 / baseline[$1]
+    printf "%-60s %14.0f -> %14.0f  (%.2fx)\n", $1, baseline[$1], $2, ratio
+    if (ratio < minratio) {
+        warned++
+        printf "::warning::%s throughput %.0f machine-steps/s is %.2fx the %s baseline (%.0f)\n",
+            $1, $2, ratio, basefile, baseline[$1]
+    }
+}
+END {
+    if (!compared) {
+        printf "::warning::no common machine-steps/s benchmarks between %s and the current run\n", basefile
+    } else {
+        printf "%d benchmark(s) compared against %s, %d warning(s) at min-ratio %s\n",
+            compared, basefile, warned + 0, minratio
+    }
+}
+' "$basetmp" -
