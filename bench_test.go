@@ -19,6 +19,7 @@ import (
 	"github.com/darklab/mercury/internal/freon"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 	"github.com/darklab/mercury/internal/webcluster"
 )
@@ -72,6 +73,12 @@ func BenchmarkSolverIteration(b *testing.B) {
 // (asserted by TestParallelDeterminism); the benchmark exists to prove
 // the speedup. On a multi-core runner machines=1000/workers=auto
 // should beat workers=1 by >= 2x.
+//
+// The loop runs with telemetry sampling live on solverd's cadence
+// (every 10th step into a ring buffer), so the reported ns/op and
+// allocs/op cover the observed configuration: the numbers must stay
+// within noise of the unobserved loop and at 0 allocs/op
+// (docs/observability.md).
 func BenchmarkScaleoutStep(b *testing.B) {
 	for _, n := range []int{10, 100, 1000, 10000} {
 		for _, w := range []struct {
@@ -95,9 +102,20 @@ func BenchmarkScaleoutStep(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				machines, nodes := s.Probes()
+				probes := make([]telemetry.TempProbe, len(machines))
+				for i := range machines {
+					probes[i] = telemetry.TempProbe{Machine: machines[i], Node: nodes[i]}
+				}
+				temps := telemetry.NewTempTable(probes, 64)
+				fill := s.ReadAllTemps // hoisted: a fresh method value per call would allocate
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					s.Step()
+					if (i+1)%10 == 0 {
+						temps.Sample(time.Duration(i+1)*time.Second, fill)
+					}
 				}
 				b.StopTimer()
 				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "machine-steps/s")

@@ -15,6 +15,13 @@
 // docs/virtual-time.md):
 //
 //	freon -online -duration 2000s
+//
+// -ctl starts an HTTP control plane with /healthz, /metrics, /state,
+// and /events — in -online mode it is served by the solver daemon; in
+// simulation mode it exposes Freon's per-machine state and thermal
+// event stream while the run advances (see docs/observability.md):
+//
+//	freon -policy base -ctl 127.0.0.1:9369
 package main
 
 import (
@@ -23,11 +30,13 @@ import (
 	"os"
 	"time"
 
+	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/experiments"
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/freon"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/online"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/webcluster"
 )
 
@@ -39,14 +48,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		quiet     = flag.Bool("quiet", false, "suppress the per-minute timeline")
 		onlineRun = flag.Bool("online", false, "run the base policy over loopback UDP daemons at warp speed")
+		ctlAddr   = flag.String("ctl", "", "HTTP control-plane address, e.g. 127.0.0.1:9369 (/healthz /metrics /state /events; see docs/observability.md)")
 	)
 	flag.Parse()
 
 	var err error
 	if *onlineRun {
-		err = runOnline(*machines, *duration, *seed)
+		err = runOnline(*machines, *duration, *seed, *ctlAddr)
 	} else {
-		err = run(*policy, *machines, *duration, *seed, *quiet)
+		err = run(*policy, *machines, *duration, *seed, *quiet, *ctlAddr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "freon:", err)
@@ -56,13 +66,14 @@ func main() {
 
 // runOnline drives the full daemon stack over loopback UDP in
 // deterministic lockstep and prints the Figure 11 summary.
-func runOnline(machines int, duration time.Duration, seed int64) error {
+func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string) error {
 	start := time.Now()
 	res, err := online.Run(online.Config{
 		Machines: machines,
 		Seed:     seed,
 		Duration: duration,
 		Script:   online.Fig11Script,
+		CtlAddr:  ctlAddr,
 	})
 	if err != nil {
 		return err
@@ -77,10 +88,13 @@ func runOnline(machines int, duration time.Duration, seed int64) error {
 	}
 	fmt.Printf("daemons: %d solver steps (%d missed ticks), %d util updates, %d sensor reads\n",
 		res.SolverSteps, res.MissedTicks, res.UtilUpdates, res.SensorReads)
+	if len(res.Events) > 0 {
+		fmt.Printf("thermal events: %d (first: %s)\n", len(res.Events), res.Events[0])
+	}
 	return nil
 }
 
-func run(policy string, machines int, duration time.Duration, seed int64, quiet bool) error {
+func run(policy string, machines int, duration time.Duration, seed int64, quiet bool, ctlAddr string) error {
 	sim, err := experiments.NewSim(machines, seed, duration)
 	if err != nil {
 		return err
@@ -96,29 +110,39 @@ fiddle machine3 temperature inlet 35.6
 	}
 	sim.Fiddle = script.Schedule()
 
+	// The control plane, when requested, shares the sim's virtual
+	// clock so event timestamps land on emulated time.
+	var events *telemetry.EventLog
+	if ctlAddr != "" {
+		events = telemetry.NewEventLog(0, sim.Clock)
+	}
+
 	var activeFn func() int
+	var stateFn func() any
 	switch policy {
 	case "base", "twostage":
 		fr, err := freon.New(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(),
-			freon.Config{TwoStage: policy == "twostage"})
+			freon.Config{TwoStage: policy == "twostage", Events: events})
 		if err != nil {
 			return err
 		}
 		sim.OnPoll = fr.TickPoll
 		sim.OnPeriod = fr.TickPeriod
+		stateFn = func() any { return fr.StateSnapshot() }
 	case "ec":
 		regions := map[string]int{}
 		for i, m := range sim.Cluster.Machines() {
 			regions[m] = i % 2
 		}
 		ec, err := freon.NewEC(sim.Cluster.Machines(), sim.Solver, sim.Solver, sim.Bal, sim.Power(),
-			freon.ECConfig{Regions: regions})
+			freon.ECConfig{Config: freon.Config{Events: events}, Regions: regions})
 		if err != nil {
 			return err
 		}
 		sim.OnPoll = ec.TickPoll
 		sim.OnPeriod = ec.TickPeriod
 		activeFn = ec.ActiveCount
+		stateFn = func() any { return ec.StateSnapshot() }
 	case "traditional":
 		tr, err := freon.NewTraditional(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(), freon.Config{})
 		if err != nil {
@@ -129,6 +153,20 @@ fiddle machine3 temperature inlet 35.6
 		// No management: temperatures go where they go.
 	default:
 		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	if ctlAddr != "" {
+		opts := []ctl.Option{ctl.WithEvents(events)}
+		if stateFn != nil {
+			opts = append(opts, ctl.WithState(stateFn))
+		}
+		cs := ctl.New(opts...)
+		bound, err := cs.Start(ctlAddr)
+		if err != nil {
+			return err
+		}
+		defer cs.Close()
+		fmt.Printf("freon: control plane on http://%s\n", bound)
 	}
 
 	if !quiet {

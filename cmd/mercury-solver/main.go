@@ -31,14 +31,17 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/dotlang"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/solver"
 	"github.com/darklab/mercury/internal/solverd"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/trace"
 )
 
@@ -61,41 +64,58 @@ func (p *probeList) Set(v string) error {
 	return nil
 }
 
+// runConfig carries the command's flags into run.
+type runConfig struct {
+	modelPath string
+	machines  int
+	listen    string
+	step      time.Duration
+	workers   int
+	tracePath string
+	outPath   string
+	sample    time.Duration
+	loadState string
+	saveState string
+	warp      float64
+	activeSet bool
+	ctlAddr   string
+	probes    probeList
+}
+
 func main() {
 	var (
-		modelPath  = flag.String("model", "", "model description file (modified dot); empty uses -machines default servers")
-		machines   = flag.Int("machines", 1, "number of default Table 1 servers when -model is not given")
-		listen     = flag.String("listen", "127.0.0.1:8367", "UDP address for on-line mode")
-		step       = flag.Duration("step", time.Second, "solver iteration step")
-		workers    = flag.Int("workers", 0, "stepping goroutines: 0 = one per CPU, 1 = serial")
-		tracePath  = flag.String("trace", "", "utilization trace: run off-line instead of serving UDP")
-		outPath    = flag.String("out", "", "temperature log output for off-line mode (default stdout)")
-		sample     = flag.Duration("sample", 10*time.Second, "off-line probe sampling interval")
-		loadState  = flag.String("load-state", "", "solver state checkpoint to restore before starting")
-		saveState  = flag.String("save-state", "", "write a state checkpoint here on SIGINT/SIGTERM (on-line mode)")
-		warp       = flag.Float64("warp", 0, "on-line virtual-time warp factor: emulated seconds per wall second (0 = real time)")
-		activeSet  = flag.Bool("active-set", false, "skip machines at exact thermal fixed points (bit-identical; see docs/performance.md)")
+		cfg        runConfig
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile here (stopped at exit or SIGINT/SIGTERM)")
 		memProfile = flag.String("memprofile", "", "write a heap profile here at exit")
-		probes     probeList
 	)
-	flag.Var(&probes, "probe", "machine/node to record off-line (repeatable)")
+	flag.StringVar(&cfg.modelPath, "model", "", "model description file (modified dot); empty uses -machines default servers")
+	flag.IntVar(&cfg.machines, "machines", 1, "number of default Table 1 servers when -model is not given")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8367", "UDP address for on-line mode")
+	flag.DurationVar(&cfg.step, "step", time.Second, "solver iteration step")
+	flag.IntVar(&cfg.workers, "workers", 0, "stepping goroutines: 0 = one per CPU, 1 = serial")
+	flag.StringVar(&cfg.tracePath, "trace", "", "utilization trace: run off-line instead of serving UDP")
+	flag.StringVar(&cfg.outPath, "out", "", "temperature log output for off-line mode (default stdout)")
+	flag.DurationVar(&cfg.sample, "sample", 10*time.Second, "off-line probe sampling interval")
+	flag.StringVar(&cfg.loadState, "load-state", "", "solver state checkpoint to restore before starting")
+	flag.StringVar(&cfg.saveState, "save-state", "", "write a state checkpoint here on SIGINT/SIGTERM (on-line mode)")
+	flag.Float64Var(&cfg.warp, "warp", 0, "on-line virtual-time warp factor: emulated seconds per wall second (0 = real time)")
+	flag.BoolVar(&cfg.activeSet, "active-set", false, "skip machines at exact thermal fixed points (bit-identical; see docs/performance.md)")
+	flag.StringVar(&cfg.ctlAddr, "ctl", "", "HTTP control-plane address for on-line mode, e.g. 127.0.0.1:9367 (/healthz /metrics /state /events /fiddle; see docs/observability.md)")
+	flag.Var(&cfg.probes, "probe", "machine/node to record off-line (repeatable)")
 	flag.Parse()
 
+	stopProfile := func() {}
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		stop, err := startCPUProfile(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mercury-solver:", err)
 			os.Exit(1)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "mercury-solver:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+		stopProfile = stop
+		defer stopProfile()
 	}
 
-	err := run(*modelPath, *machines, *listen, *step, *workers, *tracePath, *outPath, *sample, *loadState, *saveState, *warp, *activeSet, probes)
+	err := run(cfg)
 
 	if *memProfile != "" {
 		f, ferr := os.Create(*memProfile)
@@ -110,28 +130,46 @@ func main() {
 		}
 	}
 	if err != nil {
+		stopProfile() // flush before os.Exit skips the deferred call
 		fmt.Fprintln(os.Stderr, "mercury-solver:", err)
-		if *cpuProfile != "" {
-			pprof.StopCPUProfile()
-		}
 		os.Exit(1)
 	}
 }
 
-func run(modelPath string, machines int, listen string, step time.Duration, workers int,
-	tracePath, outPath string, sample time.Duration, loadState, saveState string, warp float64,
-	activeSet bool, probes probeList) error {
+// startCPUProfile begins profiling into path. The returned stop func
+// flushes and closes the profile exactly once no matter how many
+// paths invoke it — the deferred main exit and the explicit error
+// path both do, and the second call must not truncate the flushed
+// profile.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}, nil
+}
 
-	cluster, err := loadCluster(modelPath, machines)
+func run(cfg runConfig) error {
+	cluster, err := loadCluster(cfg.modelPath, cfg.machines)
 	if err != nil {
 		return err
 	}
-	sol, err := solver.New(cluster, solver.Config{Step: step, Workers: workers, ActiveSet: activeSet})
+	sol, err := solver.New(cluster, solver.Config{Step: cfg.step, Workers: cfg.workers, ActiveSet: cfg.activeSet})
 	if err != nil {
 		return err
 	}
-	if loadState != "" {
-		f, err := os.Open(loadState)
+	if cfg.loadState != "" {
+		f, err := os.Open(cfg.loadState)
 		if err != nil {
 			return err
 		}
@@ -146,36 +184,59 @@ func run(modelPath string, machines int, listen string, step time.Duration, work
 		fmt.Printf("mercury-solver: restored state at emulated t=%v\n", sol.Now())
 	}
 
-	if tracePath != "" {
-		return runOffline(sol, tracePath, outPath, sample, probes)
+	if cfg.tracePath != "" {
+		return runOffline(sol, cfg.tracePath, cfg.outPath, cfg.sample, cfg.probes)
 	}
 
 	var opts []solverd.Option
 	var vclk *clock.Virtual
-	if warp > 0 {
+	var clk clock.Clock = clock.Real{}
+	if cfg.warp > 0 {
 		vclk = clock.NewVirtual()
+		clk = vclk
 		opts = append(opts, solverd.WithClock(vclk))
 	}
-	srv, err := solverd.Listen(listen, sol, opts...)
+	var reg *telemetry.Registry
+	var events *telemetry.EventLog
+	if cfg.ctlAddr != "" {
+		reg = telemetry.NewRegistry()
+		events = telemetry.NewEventLog(0, clk)
+		opts = append(opts, solverd.WithTelemetry(reg, events))
+	}
+	srv, err := solverd.Listen(cfg.listen, sol, opts...)
 	if err != nil {
 		return err
 	}
-	if warp > 0 {
+	if cfg.warp > 0 {
 		fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v, warp %gx)\n",
-			len(sol.Machines()), srv.Addr(), step, warp)
+			len(sol.Machines()), srv.Addr(), cfg.step, cfg.warp)
 	} else {
 		fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v)\n",
-			len(sol.Machines()), srv.Addr(), step)
+			len(sol.Machines()), srv.Addr(), cfg.step)
 	}
-	if saveState != "" {
+	if cfg.ctlAddr != "" {
+		cs := ctl.New(
+			ctl.WithRegistry(reg),
+			ctl.WithEvents(events),
+			ctl.WithState(func() any { return srv.State() }),
+			ctl.WithFiddle(srv.ApplyFiddle),
+		)
+		bound, err := cs.Start(cfg.ctlAddr)
+		if err != nil {
+			return err
+		}
+		defer cs.Close()
+		fmt.Printf("mercury-solver: control plane on http://%s\n", bound)
+	}
+	if cfg.saveState != "" {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
-			f, err := os.Create(saveState)
+			f, err := os.Create(cfg.saveState)
 			if err == nil {
 				if err := solver.WriteState(f, sol.SaveState()); err == nil {
-					fmt.Printf("mercury-solver: state saved to %s (emulated t=%v)\n", saveState, sol.Now())
+					fmt.Printf("mercury-solver: state saved to %s (emulated t=%v)\n", cfg.saveState, sol.Now())
 				}
 				f.Close()
 			}
@@ -184,7 +245,7 @@ func run(modelPath string, machines int, listen string, step time.Duration, work
 	}
 	srv.StartTicker()
 	if vclk != nil {
-		vclk.StartWarp(warp)
+		vclk.StartWarp(cfg.warp)
 		defer vclk.StopWarp()
 	}
 	return srv.Serve()

@@ -99,6 +99,38 @@ func TestLoadClusterErrors(t *testing.T) {
 	}
 }
 
+func TestStartCPUProfileStopsOnce(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cpu.prof")
+	stop, err := startCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the deferred path and the error-exit path call stop; the
+	// second call must be a no-op rather than truncating the profile.
+	stop()
+	stop()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("profile file is empty after stop")
+	}
+	// Profiling must actually have stopped: a fresh start succeeds.
+	stop2, err := startCPUProfile(filepath.Join(dir, "cpu2.prof"))
+	if err != nil {
+		t.Fatalf("second profile did not start: %v", err)
+	}
+	stop2()
+}
+
+func TestStartCPUProfileBadPath(t *testing.T) {
+	if _, err := startCPUProfile(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof")); err == nil {
+		t.Error("want error for uncreatable profile path")
+	}
+}
+
 func TestRunOfflineEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "utils.trace")
@@ -106,8 +138,14 @@ func TestRunOfflineEndToEnd(t *testing.T) {
 	if err := os.WriteFile(tracePath, []byte("0 machine1 cpu 1.0\n600 machine1 cpu 1.0\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run("", 1, "", time.Second, 0, tracePath, outPath, 60*time.Second, "", "", 0, false,
-		probeList{{Machine: "machine1", Node: model.NodeCPU}})
+	err := run(runConfig{
+		machines:  1,
+		step:      time.Second,
+		tracePath: tracePath,
+		outPath:   outPath,
+		sample:    60 * time.Second,
+		probes:    probeList{{Machine: "machine1", Node: model.NodeCPU}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +171,14 @@ func TestRunOfflineDefaultProbes(t *testing.T) {
 	tracePath := filepath.Join(dir, "utils.trace")
 	os.WriteFile(tracePath, []byte("0 machine1 cpu 0.5\n60 machine1 cpu 0.5\n"), 0o644)
 	outPath := filepath.Join(dir, "temps.log")
-	if err := run("", 1, "", time.Second, 0, tracePath, outPath, 30*time.Second, "", "", 0, false, nil); err != nil {
+	err := run(runConfig{
+		machines:  1,
+		step:      time.Second,
+		tracePath: tracePath,
+		outPath:   outPath,
+		sample:    30 * time.Second,
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -174,8 +219,15 @@ func TestRunRestoresState(t *testing.T) {
 	tracePath := filepath.Join(dir, "utils.trace")
 	os.WriteFile(tracePath, []byte("0 machine1 cpu 1.0\n60 machine1 cpu 1.0\n"), 0o644)
 	outPath := filepath.Join(dir, "temps.log")
-	err = run("", 1, "", time.Second, 0, tracePath, outPath, 60*time.Second, statePath, "", 0, false,
-		probeList{{Machine: "machine1", Node: model.NodeCPU}})
+	err = run(runConfig{
+		machines:  1,
+		step:      time.Second,
+		tracePath: tracePath,
+		outPath:   outPath,
+		sample:    60 * time.Second,
+		loadState: statePath,
+		probes:    probeList{{Machine: "machine1", Node: model.NodeCPU}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

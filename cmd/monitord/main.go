@@ -8,6 +8,13 @@
 // A synthetic mode replaces /proc for tests and demos:
 //
 //	monitord -machine machine1 -solver 127.0.0.1:8367 -synthetic-cpu 0.7
+//
+// -warp decouples the reporting cadence from wall time (emulated
+// seconds per wall second; see docs/virtual-time.md). -ctl starts an
+// HTTP control plane with /healthz, /metrics, and /state (see
+// docs/observability.md):
+//
+//	monitord -machine machine1 -solver 127.0.0.1:8367 -warp 100 -ctl 127.0.0.1:9368
 package main
 
 import (
@@ -20,9 +27,11 @@ import (
 	"time"
 
 	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/monitord"
 	"github.com/darklab/mercury/internal/procfs"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 )
 
@@ -38,6 +47,7 @@ func main() {
 		synCPU   = flag.Float64("synthetic-cpu", -1, "fixed synthetic CPU utilization in [0,1] (disables /proc)")
 		synDisk  = flag.Float64("synthetic-disk", 0, "fixed synthetic disk utilization (with -synthetic-cpu)")
 		warp     = flag.Float64("warp", 0, "virtual-time warp factor: emulated seconds per wall second (0 = real time)")
+		ctlAddr  = flag.String("ctl", "", "HTTP control-plane address, e.g. 127.0.0.1:9368 (/healthz /metrics /state; see docs/observability.md)")
 	)
 	flag.Parse()
 	if *machine == "" {
@@ -64,18 +74,36 @@ func main() {
 		defer vclk.StopWarp()
 		clk = vclk
 	}
+	var reg *telemetry.Registry
+	if *ctlAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
 	d, err := monitord.New(monitord.Config{
 		Machine:    *machine,
 		Sampler:    sampler,
 		SolverAddr: *solver,
 		Interval:   *interval,
 		Clock:      clk,
+		Registry:   reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "monitord:", err)
 		os.Exit(1)
 	}
 	defer d.Close()
+	if *ctlAddr != "" {
+		cs := ctl.New(
+			ctl.WithRegistry(reg),
+			ctl.WithState(func() any { return d.StateSnapshot() }),
+		)
+		bound, err := cs.Start(*ctlAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monitord:", err)
+			os.Exit(1)
+		}
+		defer cs.Close()
+		fmt.Printf("monitord: control plane on http://%s\n", bound)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

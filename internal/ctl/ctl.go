@@ -1,0 +1,284 @@
+// Package ctl is the HTTP control plane embedded in every Mercury
+// daemon. It serves the daemon's telemetry registry and event log and
+// accepts the same fiddle operations as the UDP wire path:
+//
+//	GET  /healthz  — liveness probe ("ok\n")
+//	GET  /metrics  — Prometheus text exposition of the registry
+//	GET  /state    — JSON snapshot supplied by the daemon
+//	GET  /events   — thermal event log; SSE stream by default
+//	                 (?from=<seq> replays retained events first),
+//	                 one JSON array with ?format=json
+//	POST /fiddle   — JSON fiddle op {"op":"pin-inlet","strings":[...],
+//	                 "floats":[...]}, applied through the daemon's
+//	                 fiddle handler
+//
+// A Server is cheap and optional: daemons only start one when given a
+// -ctl address, and nothing on any hot path touches it. See
+// docs/observability.md.
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/darklab/mercury/internal/telemetry"
+	"github.com/darklab/mercury/internal/wire"
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithRegistry sets the metrics registry served at /metrics.
+func WithRegistry(r *telemetry.Registry) Option {
+	return func(s *Server) { s.reg = r }
+}
+
+// WithEvents sets the event log served at /events.
+func WithEvents(l *telemetry.EventLog) Option {
+	return func(s *Server) { s.events = l }
+}
+
+// WithState sets the snapshot function behind /state. fn is called
+// per request and its result rendered as JSON; it must be safe for
+// concurrent use.
+func WithState(fn func() any) Option {
+	return func(s *Server) { s.stateFn = fn }
+}
+
+// WithFiddle sets the handler behind POST /fiddle. fn receives a
+// validated op and returns an error to reject it; it must be safe for
+// concurrent use.
+func WithFiddle(fn func(*wire.FiddleOp) error) Option {
+	return func(s *Server) { s.fiddleFn = fn }
+}
+
+// Server is one daemon's control plane.
+type Server struct {
+	reg      *telemetry.Registry
+	events   *telemetry.EventLog
+	stateFn  func() any
+	fiddleFn func(*wire.FiddleOp) error
+
+	mux  *http.ServeMux
+	hs   *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// New builds a Server. Endpoints whose backing piece was not provided
+// answer 404 (/state, /fiddle) or serve empty output (/metrics,
+// /events against fresh defaults).
+func New(opts ...Option) *Server {
+	s := &Server{done: make(chan struct{})}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	if s.events == nil {
+		s.events = telemetry.NewEventLog(0, nil)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/state", s.handleState)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/fiddle", s.handleFiddle)
+	return s
+}
+
+// Handler returns the server's mux, for embedding in tests or an
+// existing http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "127.0.0.1:9090"; ":0" picks a free
+// port) and serves in a background goroutine. It returns the bound
+// address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ctl: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.mux}
+	go func() {
+		_ = s.hs.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and drops active connections (including
+// open SSE streams).
+func (s *Server) Close() error {
+	close(s.done)
+	if s.hs != nil {
+		return s.hs.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if s.stateFn == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.stateFn()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if v := r.URL.Query().Get("from"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &from); err != nil {
+			http.Error(w, "ctl: bad from parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.events.Since(from))
+		return
+	}
+	s.streamEvents(w, r, from)
+}
+
+// streamEvents serves /events as Server-Sent Events: the retained
+// backlog past `from` first, then live events until the client goes
+// away. Event IDs are log sequence numbers, so a dropped client can
+// resume with ?from=<last id>.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, from uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "ctl: streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := s.events.Subscribe(256)
+	defer cancel()
+
+	write := func(e telemetry.Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	last := from
+	for _, e := range s.events.Since(from) {
+		if !write(e) {
+			return
+		}
+		last = e.Seq
+	}
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case e := <-ch:
+			// The subscription may overlap the backlog; skip repeats.
+			if e.Seq <= last {
+				continue
+			}
+			if !write(e) {
+				return
+			}
+			last = e.Seq
+		}
+	}
+}
+
+// fiddleRequest is the POST /fiddle body: the op by name (as printed
+// by wire.OpName) plus its arguments.
+type fiddleRequest struct {
+	Op      string    `json:"op"`
+	Strings []string  `json:"strings"`
+	Floats  []float64 `json:"floats"`
+}
+
+type fiddleResponse struct {
+	Status  string `json:"status"`
+	Message string `json:"message,omitempty"`
+}
+
+func (s *Server) handleFiddle(w http.ResponseWriter, r *http.Request) {
+	if s.fiddleFn == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "ctl: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req fiddleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeFiddle(w, http.StatusBadRequest, "error", "bad JSON: "+err.Error())
+		return
+	}
+	code, ok := wire.OpCode(req.Op)
+	if !ok {
+		writeFiddle(w, http.StatusBadRequest, "error", "unknown op "+req.Op)
+		return
+	}
+	op := &wire.FiddleOp{Op: code, Strings: req.Strings, Floats: req.Floats}
+	if err := wire.ValidateFiddle(op); err != nil {
+		writeFiddle(w, http.StatusBadRequest, "error", err.Error())
+		return
+	}
+	if err := s.fiddleFn(op); err != nil {
+		writeFiddle(w, http.StatusUnprocessableEntity, "error", err.Error())
+		return
+	}
+	writeFiddle(w, http.StatusOK, "ok", "")
+}
+
+func writeFiddle(w http.ResponseWriter, status int, st, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(fiddleResponse{Status: st, Message: msg})
+}

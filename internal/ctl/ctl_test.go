@@ -1,0 +1,227 @@
+package ctl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/telemetry"
+	"github.com/darklab/mercury/internal/wire"
+)
+
+func newTestServer(t *testing.T) (*Server, *telemetry.Registry, *telemetry.EventLog, *[]*wire.FiddleOp) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	log := telemetry.NewEventLog(16, nil)
+	var applied []*wire.FiddleOp
+	srv := New(
+		WithRegistry(reg),
+		WithEvents(log),
+		WithState(func() any { return map[string]any{"machine": "m1", "temp": 42.5} }),
+		WithFiddle(func(op *wire.FiddleOp) error {
+			if op.Strings[0] == "nope" {
+				return fmt.Errorf("no such machine")
+			}
+			applied = append(applied, op)
+			return nil
+		}),
+	)
+	return srv, reg, log, &applied
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _, _, _ := newTestServer(t)
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "ok") {
+		t.Errorf("healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	srv, reg, _, _ := newTestServer(t)
+	reg.Counter("mercury_solver_steps_total", "steps").Add(7)
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("metrics status = %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "mercury_solver_steps_total 7") {
+		t.Errorf("metrics body missing counter:\n%s", rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+}
+
+func TestState(t *testing.T) {
+	srv, _, _, _ := newTestServer(t)
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/state", nil))
+	if rr.Code != 200 {
+		t.Fatalf("state status = %d", rr.Code)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("state not JSON: %v", err)
+	}
+	if got["machine"] != "m1" || got["temp"] != 42.5 {
+		t.Errorf("state = %v", got)
+	}
+}
+
+func TestStateWithoutProvider(t *testing.T) {
+	srv := New()
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/state", nil))
+	if rr.Code != 404 {
+		t.Errorf("state without provider = %d, want 404", rr.Code)
+	}
+}
+
+func TestEventsJSON(t *testing.T) {
+	srv, _, log, _ := newTestServer(t)
+	log.Emit(telemetry.EvEmergencyRaised, "m1", "cpu", 67, "")
+	log.Emit(telemetry.EvEmergencyCleared, "m1", "", 0, "")
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/events?format=json", nil))
+	var events []telemetry.Event
+	if err := json.Unmarshal(rr.Body.Bytes(), &events); err != nil {
+		t.Fatalf("events not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if len(events) != 2 || events[0].Type != telemetry.EvEmergencyRaised {
+		t.Errorf("events = %+v", events)
+	}
+	// Replay from a sequence point.
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/events?format=json&from=1", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != telemetry.EvEmergencyCleared {
+		t.Errorf("events from=1 = %+v", events)
+	}
+}
+
+func TestEventsSSE(t *testing.T) {
+	srv, _, log, _ := newTestServer(t)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	log.Emit(telemetry.EvEmergencyRaised, "m1", "cpu", 67, "")
+
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	// Emit a live event after the stream is open.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		log.Emit(telemetry.EvRelease, "m1", "", 0, "")
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var ids, types []string
+	deadline := time.After(5 * time.Second)
+	for len(types) < 2 {
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				close(lineCh)
+			}
+		}()
+		select {
+		case <-deadline:
+			t.Fatalf("timed out; ids=%v types=%v", ids, types)
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("stream closed early; ids=%v types=%v", ids, types)
+			}
+			if strings.HasPrefix(line, "id: ") {
+				ids = append(ids, strings.TrimPrefix(line, "id: "))
+			}
+			if strings.HasPrefix(line, "event: ") {
+				types = append(types, strings.TrimPrefix(line, "event: "))
+			}
+		}
+	}
+	if ids[0] != "1" || types[0] != "emergency-raised" {
+		t.Errorf("first event id=%s type=%s", ids[0], types[0])
+	}
+	if types[1] != "release" {
+		t.Errorf("second event type=%s", types[1])
+	}
+}
+
+func TestFiddle(t *testing.T) {
+	srv, _, _, applied := newTestServer(t)
+
+	post := func(body string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/fiddle", strings.NewReader(body))
+		srv.Handler().ServeHTTP(rr, req)
+		return rr
+	}
+
+	rr := post(`{"op":"pin-inlet","strings":["m1"],"floats":[40]}`)
+	if rr.Code != 200 {
+		t.Fatalf("fiddle = %d %s", rr.Code, rr.Body.String())
+	}
+	if len(*applied) != 1 || (*applied)[0].Op != wire.OpPinInlet || (*applied)[0].Floats[0] != 40 {
+		t.Errorf("applied = %+v", *applied)
+	}
+
+	if rr := post(`{"op":"warp-core-breach","strings":[],"floats":[]}`); rr.Code != 400 {
+		t.Errorf("unknown op = %d, want 400", rr.Code)
+	}
+	if rr := post(`{"op":"pin-inlet","strings":[],"floats":[]}`); rr.Code != 400 {
+		t.Errorf("bad shape = %d, want 400", rr.Code)
+	}
+	if rr := post(`{"op":"pin-inlet","strings":["nope"],"floats":[40]}`); rr.Code != 422 {
+		t.Errorf("rejected op = %d, want 422", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/fiddle", nil))
+	if rr.Code != 405 {
+		t.Errorf("GET /fiddle = %d, want 405", rr.Code)
+	}
+}
+
+func TestStartAndClose(t *testing.T) {
+	srv, reg, _, _ := newTestServer(t)
+	reg.Counter("up_total", "").Inc()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("live metrics = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}

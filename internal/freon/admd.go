@@ -2,6 +2,9 @@ package freon
 
 import (
 	"fmt"
+	"sort"
+
+	"github.com/darklab/mercury/internal/telemetry"
 )
 
 // connTracker maintains the rolling average of a server's concurrent
@@ -44,6 +47,15 @@ type Admd struct {
 	// which classes are currently blocked per machine.
 	shedClass map[string]string
 	blocked   map[string]map[string]bool
+
+	events *telemetry.EventLog // nil disables decision logging
+}
+
+// emit logs a decision when an event log is attached.
+func (a *Admd) emit(typ telemetry.EventType, machine string, value float64, detail string) {
+	if a.events != nil {
+		a.events.Emit(typ, machine, "", value, detail)
+	}
 }
 
 // NewAdmd builds an admission controller over a balancer. nominal is
@@ -131,21 +143,32 @@ func (a *Admd) blockClasses(machine string, hotNodes []string) (bool, error) {
 			a.blocked[machine] = map[string]bool{}
 		}
 		a.blocked[machine][class] = true
+		a.emit(telemetry.EvClassBlocked, machine, 0, class)
 		fresh = true
 	}
 	return fresh, nil
 }
 
 // BlockedClasses returns the classes currently blocked on a machine,
-// for observability.
+// sorted, for observability.
 func (a *Admd) BlockedClasses(machine string) []string {
 	var out []string
-	for class, on := range a.blocked[machine] {
-		if on {
+	for _, class := range sortedKeys(a.blocked[machine]) {
+		if a.blocked[machine][class] {
 			out = append(out, class)
 		}
 	}
 	return out
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // restrict reduces the hot server's share to 1/(output+1) of its
@@ -168,6 +191,7 @@ func (a *Admd) restrict(machine string, output float64) error {
 		if err := a.bal.SetWeight(machine, newW); err != nil {
 			return err
 		}
+		a.emit(telemetry.EvWeightChange, machine, newW, "")
 	}
 
 	t, ok := a.conns[machine]
@@ -183,6 +207,7 @@ func (a *Admd) restrict(machine string, output float64) error {
 	if err := a.bal.SetConnLimit(machine, limit); err != nil {
 		return err
 	}
+	a.emit(telemetry.EvConnCap, machine, float64(limit), "")
 	a.limited[machine] = true
 	a.adjusted[machine]++
 	return nil
@@ -198,16 +223,20 @@ func (a *Admd) Release(machine string) error {
 	if err := a.bal.SetConnLimit(machine, 0); err != nil {
 		return err
 	}
-	for class, on := range a.blocked[machine] {
-		if !on {
+	// Sorted so the unblock order — and the event log — is
+	// deterministic.
+	for _, class := range sortedKeys(a.blocked[machine]) {
+		if !a.blocked[machine][class] {
 			continue
 		}
 		if err := a.bal.SetClassBlocked(machine, class, false); err != nil {
 			return err
 		}
 		a.blocked[machine][class] = false
+		a.emit(telemetry.EvClassUnblocked, machine, 0, class)
 	}
 	a.limited[machine] = false
+	a.emit(telemetry.EvRelease, machine, 0, "")
 	return nil
 }
 

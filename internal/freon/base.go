@@ -3,13 +3,21 @@ package freon
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
+
+	"github.com/darklab/mercury/internal/telemetry"
 )
 
 // Freon is the base thermal-emergency manager: one tempd per server
 // plus the admission controller. Drive it with TickPoll every ConnPoll
 // period and TickPeriod every Period; experiment harnesses call these
 // from emulated time, the freon command from wall-clock tickers.
+//
+// Ticks and snapshots share one mutex, so the HTTP control plane may
+// read StateSnapshot concurrently with a running ticker.
 type Freon struct {
+	mu      sync.Mutex
 	cfg     Config
 	tempds  map[string]*Tempd
 	order   []string
@@ -17,6 +25,7 @@ type Freon struct {
 	power   Power
 	offline map[string]bool
 	reports map[string]Report
+	events  *telemetry.EventLog
 }
 
 // New builds the base Freon over the given machines.
@@ -46,7 +55,9 @@ func New(machines []string, sensors Sensors, bal Balancer, power Power, cfg Conf
 		power:   power,
 		offline: map[string]bool{},
 		reports: map[string]Report{},
+		events:  cfg.Events,
 	}
+	admd.events = cfg.Events
 	for _, m := range machines {
 		td, err := NewTempd(m, sensors, cfg)
 		if err != nil {
@@ -66,6 +77,8 @@ func (f *Freon) Admd() *Admd { return f.admd }
 
 // TickPoll samples LVS connection statistics for every online server.
 func (f *Freon) TickPoll() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, m := range f.order {
 		if f.offline[m] {
 			continue
@@ -81,6 +94,8 @@ func (f *Freon) TickPoll() error {
 // machine and admd reacts. Servers whose components red-line are
 // turned off (the action of last resort even under the base policy).
 func (f *Freon) TickPeriod() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, m := range f.order {
 		if f.offline[m] {
 			continue
@@ -90,8 +105,9 @@ func (f *Freon) TickPeriod() error {
 			return err
 		}
 		f.reports[m] = r
+		emitReport(f.events, r)
 		if r.RedLine {
-			if err := f.shutdown(m); err != nil {
+			if err := f.shutdown(m, r); err != nil {
 				return err
 			}
 			continue
@@ -103,8 +119,28 @@ func (f *Freon) TickPeriod() error {
 	return nil
 }
 
+// emitReport logs a tempd report's edges and controller output. The
+// emission order per machine — emergency edge, then PD output, then
+// whatever admd decides — matches the decision order, so a virtual-
+// clock run replays identically.
+func emitReport(events *telemetry.EventLog, r Report) {
+	if events == nil {
+		return
+	}
+	if r.JustHot && len(r.HotNodes) > 0 {
+		node := r.HotNodes[0]
+		events.Emit(telemetry.EvEmergencyRaised, r.Machine, node, float64(r.Temps[node]), "")
+	}
+	if r.Hot {
+		events.Emit(telemetry.EvPDOutput, r.Machine, "", r.Output, strings.Join(r.HotNodes, ","))
+	}
+	if r.JustCool {
+		events.Emit(telemetry.EvEmergencyCleared, r.Machine, "", 0, "")
+	}
+}
+
 // shutdown powers a red-lined server off and excludes it from load.
-func (f *Freon) shutdown(machine string) error {
+func (f *Freon) shutdown(machine string, r Report) error {
 	if err := f.admd.bal.Quiesce(machine); err != nil {
 		return err
 	}
@@ -114,14 +150,29 @@ func (f *Freon) shutdown(machine string) error {
 		}
 	}
 	f.offline[machine] = true
+	if f.events != nil {
+		var maxTemp float64
+		for _, t := range r.Temps {
+			if float64(t) > maxTemp {
+				maxTemp = float64(t)
+			}
+		}
+		f.events.Emit(telemetry.EvRedLine, machine, "", maxTemp, "")
+	}
 	return nil
 }
 
 // Offline reports whether Freon has shut a machine down.
-func (f *Freon) Offline(machine string) bool { return f.offline[machine] }
+func (f *Freon) Offline(machine string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.offline[machine]
+}
 
 // OfflineCount returns the number of shut-down machines.
 func (f *Freon) OfflineCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	n := 0
 	for _, off := range f.offline {
 		if off {
@@ -133,8 +184,62 @@ func (f *Freon) OfflineCount() int {
 
 // LastReport returns the most recent tempd report for a machine.
 func (f *Freon) LastReport(machine string) (Report, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	r, ok := f.reports[machine]
 	return r, ok
+}
+
+// MachineState is one server's row in a policy snapshot.
+type MachineState struct {
+	Machine    string             `json:"machine"`
+	Temps      map[string]float64 `json:"temps,omitempty"`
+	Hot        bool               `json:"hot,omitempty"`
+	Restricted bool               `json:"restricted,omitempty"`
+	Weight     float64            `json:"weight"`
+	Blocked    []string           `json:"blocked_classes,omitempty"`
+	Offline    bool               `json:"offline,omitempty"`
+	Phase      string             `json:"phase,omitempty"` // Freon-EC only
+}
+
+// Snapshot is a policy's /state document.
+type Snapshot struct {
+	Machines     []MachineState `json:"machines"`
+	OfflineCount int            `json:"offline_count"`
+	// Freon-EC extras (zero under the base policy).
+	ActiveCount  int `json:"active_count,omitempty"`
+	PoweredCount int `json:"powered_count,omitempty"`
+	TurnOns      int `json:"turn_ons,omitempty"`
+	TurnOffs     int `json:"turn_offs,omitempty"`
+}
+
+// StateSnapshot captures the base policy's view of every machine; the
+// control plane serves it at /state. Safe to call concurrently with
+// ticks.
+func (f *Freon) StateSnapshot() Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snap := Snapshot{}
+	for _, m := range f.order {
+		ms := MachineState{Machine: m, Offline: f.offline[m]}
+		if r, ok := f.reports[m]; ok {
+			ms.Temps = map[string]float64{}
+			for node, t := range r.Temps {
+				ms.Temps[node] = float64(t)
+			}
+			ms.Hot = r.Hot
+		}
+		ms.Restricted = f.tempds[m].Restricted()
+		if w, err := f.admd.bal.Weight(m); err == nil {
+			ms.Weight = w
+		}
+		ms.Blocked = f.admd.BlockedClasses(m)
+		if ms.Offline {
+			snap.OfflineCount++
+		}
+		snap.Machines = append(snap.Machines, ms)
+	}
+	return snap
 }
 
 // Machines returns the managed machine names.

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 )
 
@@ -73,8 +75,11 @@ func (p machinePhase) String() string {
 }
 
 // EC is Freon-EC: the base thermal policy combined with region-aware
-// cluster reconfiguration (the pseudo-code of Figure 10).
+// cluster reconfiguration (the pseudo-code of Figure 10). Ticks and
+// snapshots share one mutex so the control plane can read state while
+// a runner ticks.
 type EC struct {
+	mu     sync.Mutex
 	cfg    ECConfig
 	order  []string
 	tempds map[string]*Tempd
@@ -82,6 +87,7 @@ type EC struct {
 	bal    Balancer
 	power  Power
 	utils  Utils
+	events *telemetry.EventLog
 
 	phase       map[string]machinePhase
 	bootLeft    map[string]int
@@ -120,6 +126,7 @@ func NewEC(machines []string, sensors Sensors, utils Utils, bal Balancer, power 
 		bal:         bal,
 		power:       power,
 		utils:       utils,
+		events:      cfg.Events,
 		phase:       map[string]machinePhase{},
 		bootLeft:    map[string]int{},
 		emergencies: map[int]int{},
@@ -130,6 +137,7 @@ func NewEC(machines []string, sensors Sensors, utils Utils, bal Balancer, power 
 	if err != nil {
 		return nil, err
 	}
+	admd.events = cfg.Events
 	e.admd = admd
 	regionSet := map[int]bool{}
 	for _, m := range machines {
@@ -157,6 +165,12 @@ func (e *EC) Admd() *Admd { return e.admd }
 
 // ActiveCount returns the machines currently serving (active phase).
 func (e *EC) ActiveCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.activeCount()
+}
+
+func (e *EC) activeCount() int {
 	n := 0
 	for _, m := range e.order {
 		if e.phase[m] == phaseActive {
@@ -169,6 +183,8 @@ func (e *EC) ActiveCount() int {
 // PoweredCount returns machines drawing power (active, booting or
 // draining).
 func (e *EC) PoweredCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	n := 0
 	for _, m := range e.order {
 		if e.phase[m] != phaseOff {
@@ -180,14 +196,29 @@ func (e *EC) PoweredCount() int {
 
 // Phase returns a machine's lifecycle phase as a string (for logs and
 // experiment output).
-func (e *EC) Phase(machine string) string { return e.phase[machine].String() }
+func (e *EC) Phase(machine string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.phase[machine].String()
+}
 
 // TurnOns and TurnOffs count reconfigurations.
-func (e *EC) TurnOns() int  { return e.turnOns }
-func (e *EC) TurnOffs() int { return e.turnOffs }
+func (e *EC) TurnOns() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.turnOns
+}
+
+func (e *EC) TurnOffs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.turnOffs
+}
 
 // TickPoll samples connection statistics for powered machines.
 func (e *EC) TickPoll() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, m := range e.order {
 		if e.phase[m] == phaseOff {
 			continue
@@ -210,6 +241,8 @@ func (e *EC) bootTicks() int {
 
 // TickPeriod runs one observation period of Figure 10.
 func (e *EC) TickPeriod() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.advanceLifecycles()
 	e.observeUtilization()
 
@@ -224,6 +257,7 @@ func (e *EC) TickPeriod() error {
 			return err
 		}
 		reports[m] = r
+		emitReport(e.events, r)
 	}
 
 	// "if (need to add a server) and (at least one server is off)".
@@ -298,6 +332,9 @@ func (e *EC) advanceLifecycles() {
 			if n, err := e.bal.ActiveConns(m); err == nil && n == 0 {
 				_ = e.power.SetPower(m, false)
 				e.phase[m] = phaseOff
+				if e.events != nil {
+					e.events.Emit(telemetry.EvPowerOff, m, "", 0, "drain-complete")
+				}
 			}
 		}
 	}
@@ -367,7 +404,7 @@ func (e *EC) needAdd() bool {
 // configuration with the average utilization of every component still
 // below Ul.
 func (e *EC) canRemove(k int) bool {
-	active := e.ActiveCount()
+	active := e.activeCount()
 	if active-k < e.cfg.MinActive {
 		return false
 	}
@@ -424,6 +461,9 @@ func (e *EC) turnOnOne() error {
 	e.phase[m] = phaseBooting
 	e.bootLeft[m] = e.bootTicks()
 	e.turnOns++
+	if e.events != nil {
+		e.events.Emit(telemetry.EvPowerOn, m, "", float64(e.cfg.Regions[m]), "")
+	}
 	return nil
 }
 
@@ -436,6 +476,9 @@ func (e *EC) beginDrain(machine string) error {
 	}
 	e.phase[machine] = phaseDraining
 	e.turnOffs++
+	if e.events != nil {
+		e.events.Emit(telemetry.EvDrain, machine, "", 0, "")
+	}
 	return nil
 }
 
@@ -486,6 +529,39 @@ func (e *EC) shrink() error {
 		}
 	}
 	return nil
+}
+
+// StateSnapshot captures Freon-EC's view of every machine for the
+// control plane. Safe to call concurrently with ticks.
+func (e *EC) StateSnapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := Snapshot{
+		ActiveCount: e.activeCount(),
+		TurnOns:     e.turnOns,
+		TurnOffs:    e.turnOffs,
+	}
+	for _, m := range e.order {
+		ms := MachineState{Machine: m, Phase: e.phase[m].String(), Offline: e.phase[m] == phaseOff}
+		if r, ok := e.lastReport(m); ok {
+			ms.Temps = map[string]float64{}
+			for node, t := range r.Temps {
+				ms.Temps[node] = float64(t)
+			}
+		}
+		ms.Restricted = e.tempds[m].Restricted()
+		if w, err := e.bal.Weight(m); err == nil {
+			ms.Weight = w
+		}
+		ms.Blocked = e.admd.BlockedClasses(m)
+		if ms.Offline {
+			snap.OfflineCount++
+		} else {
+			snap.PoweredCount++
+		}
+		snap.Machines = append(snap.Machines, ms)
+	}
+	return snap
 }
 
 // lastReport pulls the most recent report out of a tempd's state.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 )
 
@@ -102,6 +103,12 @@ type Config struct {
 	// server; weights and connection caps engage only if the server
 	// stays hot. Requires a content-aware balancer.
 	TwoStage bool
+	// Events, when non-nil, receives the policy's decision log:
+	// emergency edges, PD outputs, weight/cap changes, class blocks,
+	// releases, red-line shutdowns, and Freon-EC reconfigurations. On a
+	// virtual clock the log is deterministic (the Figure 11 golden test
+	// pins it).
+	Events *telemetry.EventLog
 }
 
 // DefaultComponents returns Section 5's monitored components.

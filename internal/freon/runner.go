@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/telemetry"
 )
 
 // Runner drives a Freon instance from a clock: TickPoll every ConnPoll
@@ -38,6 +39,15 @@ func NewRunner(f *Freon, clk clock.Clock) *Runner {
 		poll:   cfg.ConnPoll,
 		period: cfg.Period,
 	}
+}
+
+// RegisterMetrics exports the runner's tick counters on reg, for the
+// freon command's control plane.
+func (r *Runner) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("mercury_freon_polls_total", "completed connection-statistics polls",
+		func() float64 { return float64(r.polls.Load()) })
+	reg.CounterFunc("mercury_freon_periods_total", "completed observation periods",
+		func() float64 { return float64(r.periods.Load()) })
 }
 
 // Polls returns the number of completed connection-statistics polls.

@@ -7,12 +7,16 @@ package monitord
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/procfs"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/udprpc"
+	"github.com/darklab/mercury/internal/units"
 	"github.com/darklab/mercury/internal/wire"
 )
 
@@ -26,6 +30,13 @@ type Daemon struct {
 	clk      clock.Clock
 	seq      uint32
 	sent     atomic.Uint64
+	errs     atomic.Uint64
+
+	reg    *telemetry.Registry
+	gauges map[model.UtilSource]*telemetry.Gauge
+
+	mu       sync.Mutex
+	lastUtil map[model.UtilSource]float64
 }
 
 // Config configures a Daemon.
@@ -44,6 +55,9 @@ type Config struct {
 	// Clock drives the sampling ticker; nil means the real clock. A
 	// clock.Virtual runs the daemon at warp speed or in lockstep.
 	Clock clock.Clock
+	// Registry, when non-nil, receives the daemon's metrics: updates
+	// sent, sample errors, and one utilization gauge per stream.
+	Registry *telemetry.Registry
 }
 
 // New connects a Daemon to the solver daemon.
@@ -64,35 +78,104 @@ func New(cfg Config) (*Daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("monitord: %w", err)
 	}
-	return &Daemon{
+	d := &Daemon{
 		machine:  cfg.Machine,
 		sampler:  cfg.Sampler,
 		client:   client,
 		interval: cfg.Interval,
 		clk:      cfg.Clock,
-	}, nil
+		reg:      cfg.Registry,
+		gauges:   map[model.UtilSource]*telemetry.Gauge{},
+		lastUtil: map[model.UtilSource]float64{},
+	}
+	if d.reg != nil {
+		d.reg.CounterFunc("mercury_monitor_updates_sent_total",
+			"utilization updates handed to the network",
+			func() float64 { return float64(d.sent.Load()) })
+		d.reg.CounterFunc("mercury_monitor_sample_errors_total",
+			"failed sample or send attempts",
+			func() float64 { return float64(d.errs.Load()) })
+	}
+	return d, nil
 }
 
 // SampleOnce takes one sample and sends one update datagram.
 func (d *Daemon) SampleOnce() error {
 	utils, err := d.sampler.Sample()
 	if err != nil {
+		d.errs.Add(1)
 		return fmt.Errorf("monitord: sample: %w", err)
 	}
+	d.mu.Lock()
 	d.seq++
-	u := &wire.UtilUpdate{Machine: d.machine, Seq: d.seq}
+	seq := d.seq
+	d.mu.Unlock()
+	u := &wire.UtilUpdate{Machine: d.machine, Seq: seq}
 	for src, v := range utils {
 		u.Entries = append(u.Entries, wire.UtilEntry{Source: src, Util: v})
 	}
+	d.record(utils)
 	buf, err := wire.MarshalUtilUpdate(u)
 	if err != nil {
+		d.errs.Add(1)
 		return fmt.Errorf("monitord: %w", err)
 	}
 	if err := d.client.Send(buf); err != nil {
+		d.errs.Add(1)
 		return fmt.Errorf("monitord: %w", err)
 	}
 	d.sent.Add(1)
 	return nil
+}
+
+// record keeps the latest sample for /state and mirrors it into
+// per-stream gauges (registered lazily on first sight of a stream).
+func (d *Daemon) record(utils map[model.UtilSource]units.Fraction) {
+	d.mu.Lock()
+	for src, v := range utils {
+		d.lastUtil[src] = float64(v)
+	}
+	d.mu.Unlock()
+	if d.reg == nil {
+		return
+	}
+	for src, v := range utils {
+		g, ok := d.gauges[src]
+		if !ok {
+			g = d.reg.Gauge(
+				fmt.Sprintf("mercury_monitor_utilization{machine=%q,source=%q}", d.machine, string(src)),
+				"most recent sampled utilization (0..1)")
+			d.gauges[src] = g
+		}
+		g.Set(float64(v))
+	}
+}
+
+// State is the daemon's /state document.
+type State struct {
+	Machine string             `json:"machine"`
+	Seq     uint32             `json:"seq"`
+	Sent    uint64             `json:"sent"`
+	Errors  uint64             `json:"errors"`
+	Utils   map[string]float64 `json:"utilizations"`
+}
+
+// StateSnapshot captures the daemon's state for the control plane.
+func (d *Daemon) StateSnapshot() State {
+	d.mu.Lock()
+	utils := make(map[string]float64, len(d.lastUtil))
+	for src, v := range d.lastUtil {
+		utils[string(src)] = v
+	}
+	seq := d.seq
+	d.mu.Unlock()
+	return State{
+		Machine: d.machine,
+		Seq:     seq,
+		Sent:    d.sent.Load(),
+		Errors:  d.errs.Load(),
+		Utils:   utils,
+	}
 }
 
 // Sent returns the number of updates successfully handed to the

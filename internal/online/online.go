@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/freon"
 	"github.com/darklab/mercury/internal/lvs"
@@ -34,6 +35,7 @@ import (
 	"github.com/darklab/mercury/internal/sensor"
 	"github.com/darklab/mercury/internal/solver"
 	"github.com/darklab/mercury/internal/solverd"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 	"github.com/darklab/mercury/internal/webcluster"
 	"github.com/darklab/mercury/internal/workload"
@@ -64,6 +66,12 @@ type Config struct {
 	// Freon configures the thermal policy; the zero value is the
 	// paper's defaults.
 	Freon freon.Config
+	// CtlAddr, when non-empty, serves the run's control plane there
+	// ("127.0.0.1:0" picks a free port; see Result.CtlAddr). The run's
+	// metrics, event log, solver state, and fiddle path are all
+	// reachable over HTTP while the lockstep loop executes, without
+	// perturbing determinism — the control plane only reads.
+	CtlAddr string
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +117,13 @@ type Result struct {
 	SensorReads uint64
 	FreonPolls  uint64
 	FreonPeriod uint64
+
+	// Events is the run's thermal event log, oldest first. Stamped
+	// from the shared virtual clock, it is bit-identical across runs
+	// with the same configuration (the Figure 11 golden test pins it).
+	Events []telemetry.Event
+	// CtlAddr is the control plane's bound address ("" when disabled).
+	CtlAddr string
 }
 
 // Run boots the stack, drives it for cfg.Duration of virtual time, and
@@ -116,6 +131,12 @@ type Result struct {
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	clk := clock.NewVirtual()
+
+	// Shared observability: one registry and one event log for the
+	// whole stack, stamped from the virtual clock so the log is
+	// deterministic.
+	reg := telemetry.NewRegistry()
+	events := telemetry.NewEventLog(8192, clk)
 
 	// Thermal model + solver behind the UDP daemon.
 	cm, err := model.DefaultCluster("room", cfg.Machines)
@@ -126,13 +147,29 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := solverd.Listen("127.0.0.1:0", sol, solverd.WithClock(clk))
+	srv, err := solverd.Listen("127.0.0.1:0", sol,
+		solverd.WithClock(clk), solverd.WithTelemetry(reg, events))
 	if err != nil {
 		return nil, err
 	}
 	go srv.Serve()
 	defer srv.Close()
 	addr := srv.Addr().String()
+
+	ctlAddr := ""
+	if cfg.CtlAddr != "" {
+		cs := ctl.New(
+			ctl.WithRegistry(reg),
+			ctl.WithEvents(events),
+			ctl.WithState(func() any { return srv.State() }),
+			ctl.WithFiddle(srv.ApplyFiddle),
+		)
+		ctlAddr, err = cs.Start(cfg.CtlAddr)
+		if err != nil {
+			return nil, err
+		}
+		defer cs.Close()
+	}
 
 	// Emulated web cluster and workload, exactly as experiments.NewSim
 	// builds them.
@@ -220,11 +257,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer fc.Close()
+	cfg.Freon.Events = events
 	fr, err := freon.New(names, sens, bal, power{wc: wc, fc: fc}, cfg.Freon)
 	if err != nil {
 		return nil, err
 	}
 	runner := freon.NewRunner(fr, clk)
+	runner.RegisterMetrics(reg)
 	runnerReady := make(chan struct{})
 	runnerDone := make(chan error, 1)
 	go func() { runnerDone <- runner.RunReady(ctx, runnerReady) }()
@@ -322,6 +361,8 @@ func Run(cfg Config) (*Result, error) {
 	res.SensorReads = srv.Stats().SensorReads.Load()
 	res.FreonPolls = runner.Polls()
 	res.FreonPeriod = runner.Periods()
+	res.Events = events.Since(0)
+	res.CtlAddr = ctlAddr
 	return res, nil
 }
 

@@ -1,7 +1,11 @@
 package online_test
 
 import (
+	"flag"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,9 +14,12 @@ import (
 	"github.com/darklab/mercury/internal/freon"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/online"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 	"github.com/darklab/mercury/internal/webcluster"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // simFig11 runs the offline in-process Figure 11 rig for the given
 // duration, sampling CPU temperatures on the online harness's cadence.
@@ -68,7 +75,11 @@ func TestOnlineFig11MatchesSim(t *testing.T) {
 	duration := 2000 * time.Second
 
 	start := time.Now()
-	res, err := online.Run(online.Config{Duration: duration, Script: online.Fig11Script})
+	res, err := online.Run(online.Config{
+		Duration: duration,
+		Script:   online.Fig11Script,
+		CtlAddr:  "127.0.0.1:0", // control plane enabled: must not perturb the run
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +149,18 @@ func TestOnlineFig11MatchesSim(t *testing.T) {
 	}
 }
 
-// TestOnlineDeterministic runs the same seeded emergency twice: every
-// sampled temperature, totals, and adjustment count must be identical
-// bit for bit.
+// TestOnlineDeterministic runs the same seeded emergency twice — with
+// the control plane enabled — and requires every sampled temperature,
+// totals, adjustment count, and thermal event to be identical bit for
+// bit. The script schedules the emergency at 60 s (instead of Figure
+// 11's 480 s) so the short run exercises the event log.
 func TestOnlineDeterministic(t *testing.T) {
-	cfg := online.Config{Duration: 200 * time.Second, Script: online.Fig11Script}
+	script := "#!/bin/bash\nsleep 60\nfiddle machine1 temperature inlet 38.6\nfiddle machine3 temperature inlet 35.6\n"
+	cfg := online.Config{
+		Duration: 300 * time.Second,
+		Script:   script,
+		CtlAddr:  "127.0.0.1:0",
+	}
 	a, err := online.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +187,92 @@ func TestOnlineDeterministic(t *testing.T) {
 		if b.Adjustments[m] != n {
 			t.Errorf("%s adjustments differ: %d vs %d", m, n, b.Adjustments[m])
 		}
+	}
+
+	// The thermal event log must replay identically, timestamps
+	// included. The two fiddle applications guarantee it is non-empty.
+	if len(a.Events) < 2 {
+		t.Fatalf("only %d events logged, want at least the 2 fiddle ops", len(a.Events))
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\n  %s\n  %s", i, a.Events[i], b.Events[i])
+		}
+	}
+	if a.CtlAddr == "" {
+		t.Error("control plane address not reported")
+	}
+}
+
+// TestOnlineFig11EventsGolden pins the full Figure 11 thermal event
+// sequence — fiddle ops, emergency edges, PD outputs, weight and
+// connection-cap changes, releases — to a golden file. Run with
+// -update to regenerate after an intentional policy change.
+func TestOnlineFig11EventsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2000s run; skipped in -short")
+	}
+	res, err := online.Run(online.Config{Duration: 2000 * time.Second, Script: online.Fig11Script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, e := range res.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "fig11_events.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("event log diverges from golden at line %d:\n  got:  %s\n  want: %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("event log length differs from golden: got %d lines, want %d",
+			len(gotLines), len(wantLines))
+	}
+
+	// Spot-check the sequence's shape: the two fiddle ops land at
+	// t=480.5s, and machine1 must raise an emergency before machine3
+	// (its inlet is 3 degrees hotter).
+	var fiddles, raised []telemetry.Event
+	for _, e := range res.Events {
+		switch e.Type {
+		case telemetry.EvFiddle:
+			fiddles = append(fiddles, e)
+		case telemetry.EvEmergencyRaised:
+			raised = append(raised, e)
+		}
+	}
+	if len(fiddles) != 2 || fiddles[0].At != 480500*time.Millisecond {
+		t.Errorf("fiddle events = %v", fiddles)
+	}
+	if len(raised) == 0 || raised[0].Machine != "machine1" {
+		t.Errorf("emergency-raised events = %v", raised)
 	}
 }
 

@@ -200,6 +200,41 @@ func (s *Solver) MachineOn(machine string) (bool, error) {
 // StepSize returns the emulated duration of one iteration.
 func (s *Solver) StepSize() time.Duration { return s.cfg.Step }
 
+// Probes returns every (machine, node) pair in deterministic order:
+// machines in compilation order, nodes in each machine's compiled
+// node order. ReadAllTemps fills values in exactly this order; the
+// telemetry temperature table uses the pair to label its columns.
+func (s *Solver) Probes() (machines, nodes []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cm := range s.machines {
+		for _, name := range cm.names {
+			machines = append(machines, cm.name)
+			nodes = append(nodes, name)
+		}
+	}
+	return machines, nodes
+}
+
+// ReadAllTemps copies every node temperature into dst in Probes
+// order, returning the count written (stopping early if dst is
+// short). It takes the solver lock once and performs no allocation,
+// so it is safe to call from a telemetry sampler between steps.
+func (s *Solver) ReadAllTemps(dst []float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := 0
+	for _, cm := range s.machines {
+		if k+len(cm.temps) > len(dst) {
+			n := copy(dst[k:], cm.temps)
+			return k + n
+		}
+		copy(dst[k:], cm.temps)
+		k += len(cm.temps)
+	}
+	return k
+}
+
 // Snapshot captures every machine's node temperatures at once, keyed
 // by machine name. Used by experiment harnesses to record time series.
 func (s *Solver) Snapshot() map[string]map[string]units.Celsius {

@@ -9,12 +9,15 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/wire"
 )
 
@@ -44,6 +47,15 @@ type Server struct {
 	stats  Stats
 	stepFn func() // test seam; defaults to sol.Step
 
+	// Telemetry (nil unless WithTelemetry). fillFn is sol.ReadAllTemps
+	// hoisted into a field once so the sampling path allocates nothing.
+	reg         *telemetry.Registry
+	events      *telemetry.EventLog
+	temps       *telemetry.TempTable
+	fillFn      func([]float64) int
+	sampleEvery uint64
+	tempCap     int
+
 	mu      sync.Mutex
 	lastSeq map[string]uint32
 
@@ -61,6 +73,30 @@ func WithClock(clk clock.Clock) Option {
 	return func(s *Server) { s.clk = clk }
 }
 
+// WithTelemetry attaches a metrics registry and event log. The
+// daemon's traffic counters are exported as read-at-scrape funcs over
+// the existing atomics (zero extra cost on the datagram path), node
+// temperatures are sampled into a ring table off the stepping ticker,
+// and fiddle applications and missed ticks are logged as events.
+// Either argument may be nil to skip that half.
+func WithTelemetry(reg *telemetry.Registry, events *telemetry.EventLog) Option {
+	return func(s *Server) { s.reg = reg; s.events = events }
+}
+
+// WithTempSampling tunes the temperature table: capacity samples
+// retained per node, one sample every everySteps solver steps.
+// Defaults are 360 and 10 (an hour of history at a one-second step).
+func WithTempSampling(capacity, everySteps int) Option {
+	return func(s *Server) {
+		if capacity > 0 {
+			s.tempCap = capacity
+		}
+		if everySteps > 0 {
+			s.sampleEvery = uint64(everySteps)
+		}
+	}
+}
+
 // Listen binds a UDP socket (addr like "127.0.0.1:8367"; port 0 picks
 // a free port) and returns a Server ready to Serve.
 func Listen(addr string, sol *solver.Solver, opts ...Option) (*Server, error) {
@@ -73,18 +109,52 @@ func Listen(addr string, sol *solver.Solver, opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("solverd: %w", err)
 	}
 	s := &Server{
-		sol:      sol,
-		conn:     conn,
-		clk:      clock.Real{},
-		lastSeq:  map[string]uint32{},
-		stopTick: make(chan struct{}),
+		sol:         sol,
+		conn:        conn,
+		clk:         clock.Real{},
+		lastSeq:     map[string]uint32{},
+		stopTick:    make(chan struct{}),
+		sampleEvery: 10,
 	}
 	s.stepFn = sol.Step
 	for _, o := range opts {
 		o(s)
 	}
+	if s.reg != nil {
+		s.registerMetrics()
+	}
 	return s, nil
 }
+
+// registerMetrics exports the daemon's counters and builds the
+// temperature table.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	cf := func(name, help string, v *atomic.Uint64) {
+		r.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	cf("mercury_solver_steps_total", "solver iterations taken by the stepping ticker", &s.stats.SolverSteps)
+	cf("mercury_solver_missed_ticks_total", "ticker fires made up after step overrun", &s.stats.MissedTicks)
+	cf("mercury_solver_util_updates_total", "utilization update datagrams applied", &s.stats.UtilUpdates)
+	cf("mercury_solver_sensor_reads_total", "sensor read requests served", &s.stats.SensorReads)
+	cf("mercury_solver_fiddle_ops_total", "fiddle operations received", &s.stats.FiddleOps)
+	cf("mercury_solver_list_requests_total", "list requests served", &s.stats.ListRequests)
+	cf("mercury_solver_malformed_total", "malformed or unknown datagrams", &s.stats.Malformed)
+	r.GaugeFunc("mercury_solver_energy_joules_total", "cluster-wide cumulative energy drawn",
+		func() float64 { return float64(s.sol.TotalEnergy()) })
+
+	machines, nodes := s.sol.Probes()
+	probes := make([]telemetry.TempProbe, len(machines))
+	for i := range machines {
+		probes[i] = telemetry.TempProbe{Machine: machines[i], Node: nodes[i]}
+	}
+	s.temps = telemetry.NewTempTable(probes, s.tempCap)
+	s.fillFn = s.sol.ReadAllTemps
+}
+
+// Temps returns the daemon's temperature table (nil without
+// telemetry).
+func (s *Server) Temps() *telemetry.TempTable { return s.temps }
 
 // Addr returns the daemon's bound address.
 func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
@@ -121,11 +191,17 @@ func (s *Server) StartTicker() {
 				taken := 0
 				for int64(s.stats.SolverSteps.Load()) < expected {
 					s.stepFn()
-					s.stats.SolverSteps.Add(1)
+					n := s.stats.SolverSteps.Add(1)
+					if s.temps != nil && n%s.sampleEvery == 0 {
+						s.temps.Sample(time.Duration(n)*step, s.fillFn)
+					}
 					taken++
 				}
 				if taken > 1 {
 					s.stats.MissedTicks.Add(uint64(taken - 1))
+					if s.events != nil {
+						s.events.Emit(telemetry.EvMissedTicks, "", "", float64(taken-1), "")
+					}
 				}
 			case <-s.stopTick:
 				return
@@ -243,15 +319,42 @@ func (s *Server) handleSensor(buf []byte) []byte {
 	return out
 }
 
+// ApplyFiddle applies one fiddle operation through the same counting
+// and event-logging path as the UDP handler; the HTTP control plane's
+// POST /fiddle routes here so both entry points behave identically.
+func (s *Server) ApplyFiddle(op *wire.FiddleOp) error {
+	s.stats.FiddleOps.Add(1)
+	if err := fiddle.Apply(s.sol, op); err != nil {
+		return err
+	}
+	if s.events != nil {
+		machine := ""
+		if len(op.Strings) > 0 {
+			machine = op.Strings[0]
+		}
+		value := 0.0
+		if len(op.Floats) > 0 {
+			value = op.Floats[0]
+		}
+		s.events.Emit(telemetry.EvFiddle, machine, "", value, fiddleDetail(op))
+	}
+	return nil
+}
+
+// fiddleDetail renders an op for the event log, e.g.
+// "pin-inlet(machine1)".
+func fiddleDetail(op *wire.FiddleOp) string {
+	return wire.OpName(op.Op) + "(" + strings.Join(op.Strings, ",") + ")"
+}
+
 func (s *Server) handleFiddle(buf []byte) []byte {
 	op, err := wire.UnmarshalFiddleOp(buf)
 	if err != nil {
 		s.stats.Malformed.Add(1)
 		return nil
 	}
-	s.stats.FiddleOps.Add(1)
 	rep := &wire.FiddleReply{Status: wire.StatusOK}
-	if err := fiddle.Apply(s.sol, op); err != nil {
+	if err := s.ApplyFiddle(op); err != nil {
 		var unk *solver.ErrUnknown
 		if errors.As(err, &unk) {
 			rep.Status = wire.StatusUnknown
@@ -265,6 +368,47 @@ func (s *Server) handleFiddle(buf []byte) []byte {
 		return nil
 	}
 	return out
+}
+
+// StateSnapshot is the daemon's /state document.
+type StateSnapshot struct {
+	Steps       uint64 `json:"steps"`
+	MissedTicks uint64 `json:"missed_ticks"`
+	UtilUpdates uint64 `json:"util_updates"`
+	SensorReads uint64 `json:"sensor_reads"`
+	FiddleOps   uint64 `json:"fiddle_ops"`
+	Malformed   uint64 `json:"malformed"`
+
+	// Machines maps machine name to its node temperatures (Celsius).
+	Machines map[string]map[string]float64 `json:"machines"`
+	// Temps summarizes the sampled temperature rings (telemetry only).
+	Temps []telemetry.TempSummary `json:"temps,omitempty"`
+}
+
+// State builds a point-in-time snapshot for the control plane. It
+// takes the solver lock once per machine and is meant for on-demand
+// serving, not hot loops.
+func (s *Server) State() StateSnapshot {
+	snap := StateSnapshot{
+		Steps:       s.stats.SolverSteps.Load(),
+		MissedTicks: s.stats.MissedTicks.Load(),
+		UtilUpdates: s.stats.UtilUpdates.Load(),
+		SensorReads: s.stats.SensorReads.Load(),
+		FiddleOps:   s.stats.FiddleOps.Load(),
+		Malformed:   s.stats.Malformed.Load(),
+		Machines:    map[string]map[string]float64{},
+	}
+	for m, temps := range s.sol.Snapshot() {
+		mt := make(map[string]float64, len(temps))
+		for n, t := range temps {
+			mt[n] = float64(t)
+		}
+		snap.Machines[m] = mt
+	}
+	if s.temps != nil {
+		snap.Temps = s.temps.Summaries()
+	}
+	return snap
 }
 
 func (s *Server) handleList(buf []byte) []byte {

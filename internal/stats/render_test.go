@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChartEmptySeries(t *testing.T) {
+	// A chart whose series all have zero points must degrade to the
+	// no-data placeholder rather than produce Inf axis labels.
+	c := &Chart{Title: "hollow", Series: []*Series{NewSeries("a"), NewSeries("b")}}
+	out := c.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("want no-data placeholder, got:\n%s", out)
+	}
+	if strings.Contains(out, "Inf") {
+		t.Errorf("axis labels leaked Inf:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	// One point means zero value range and zero time span; both
+	// divisions must be guarded.
+	s := NewSeries("flat")
+	s.Add(10*time.Second, 42)
+	c := &Chart{Series: []*Series{s}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "42.00") {
+		t.Errorf("value missing from axis labels:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "NaN") {
+			t.Fatalf("NaN leaked into render: %q", line)
+		}
+	}
+}
+
+func TestChartNaNValues(t *testing.T) {
+	// NaN samples are skipped, not plotted at row 0.
+	s := NewSeries("gappy")
+	s.Add(0, 1)
+	s.Add(10*time.Second, math.NaN())
+	s.Add(20*time.Second, 3)
+	c := &Chart{Width: 20, Height: 5, Series: []*Series{s}}
+	out := c.Render()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into render:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("real points not plotted:\n%s", out)
+	}
+}
+
+func TestChartMixedEmptyAndFull(t *testing.T) {
+	empty := NewSeries("empty")
+	full := NewSeries("full")
+	full.Add(0, 1)
+	full.Add(time.Minute, 2)
+	c := &Chart{Series: []*Series{empty, full}}
+	out := c.Render()
+	// Both legends print; the empty series plots nothing but must not
+	// disturb the axis range of the full one.
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "full") {
+		t.Errorf("legend missing a series:\n%s", out)
+	}
+	if !strings.Contains(out, "2.00") || !strings.Contains(out, "1.00") {
+		t.Errorf("axis range wrong:\n%s", out)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2, 5} // unsorted on purpose
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.125, 1.5}, // interpolates between order statistics
+	}
+	for _, c := range cases {
+		if got := Quantile(vals, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// The input slice must not be reordered.
+	if vals[0] != 4 || vals[4] != 5 {
+		t.Errorf("input mutated: %v", vals)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty input: want NaN")
+	}
+	if !math.IsNaN(Quantile([]float64{1}, -0.1)) || !math.IsNaN(Quantile([]float64{1}, 1.1)) {
+		t.Error("out-of-range q: want NaN")
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single value: got %v, want 7", got)
+	}
+	// NaN samples are ignored, not propagated.
+	if got := Quantile([]float64{math.NaN(), 2, math.NaN(), 4}, 0.5); got != 3 {
+		t.Errorf("NaN filtering: got %v, want 3", got)
+	}
+	if !math.IsNaN(Quantile([]float64{math.NaN()}, 0.5)) {
+		t.Error("all-NaN input: want NaN")
+	}
+}

@@ -113,6 +113,36 @@ func (s *Series) Last() float64 {
 	return s.Points[len(s.Points)-1].Value
 }
 
+// Quantile returns the q-quantile of values (0 <= q <= 1) using
+// linear interpolation between order statistics, the same estimate
+// spreadsheets and numpy default to. The input need not be sorted and
+// is not modified; NaN values are ignored. It returns NaN for an
+// empty (or all-NaN) input or an out-of-range q. Telemetry histogram
+// and ring-buffer summaries reuse this for their p50/p95/p99 lines.
+func Quantile(values []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		return math.NaN()
+	}
+	clean := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	pos := q * float64(len(clean)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return clean[lo]
+	}
+	frac := pos - float64(lo)
+	return clean[lo] + frac*(clean[hi]-clean[lo])
+}
+
 // Compare holds error metrics between an emulated series and a
 // reference series, evaluated at the emulated series' sample times.
 type Compare struct {

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+)
+
+// EventType classifies a thermal event. The set covers everything the
+// daemon stack decides or observes: tempd's emergency edges and PD
+// outputs, admd's load-distribution changes, Freon-EC's cluster
+// reconfigurations, fiddle mutations, and solverd's missed ticks.
+type EventType string
+
+const (
+	// EvEmergencyRaised fires when a component first crosses its High
+	// threshold (machine, node, value = temperature).
+	EvEmergencyRaised EventType = "emergency-raised"
+	// EvEmergencyCleared fires when a restricted machine drops below
+	// every Low threshold (machine).
+	EvEmergencyCleared EventType = "emergency-cleared"
+	// EvPDOutput is tempd's controller output for a hot period
+	// (machine, value = output, detail = hot nodes).
+	EvPDOutput EventType = "pd-output"
+	// EvWeightChange is admd shrinking a hot server's LVS weight
+	// (machine, value = new weight).
+	EvWeightChange EventType = "weight-change"
+	// EvConnCap is admd capping a server's concurrent connections
+	// (machine, value = cap).
+	EvConnCap EventType = "conn-cap"
+	// EvClassBlocked and EvClassUnblocked are the two-stage policy's
+	// content-class blocks (machine, detail = class).
+	EvClassBlocked   EventType = "class-blocked"
+	EvClassUnblocked EventType = "class-unblocked"
+	// EvRelease is admd lifting every restriction on a cooled machine.
+	EvRelease EventType = "release"
+	// EvRedLine is a red-line shutdown (machine, node, value = temp).
+	EvRedLine EventType = "redline-shutdown"
+	// EvPowerOn and EvPowerOff are Freon-EC reconfiguration decisions
+	// (machine; detail = reason).
+	EvPowerOn  EventType = "power-on"
+	EvPowerOff EventType = "power-off"
+	// EvDrain is Freon-EC quiescing a server ahead of power-off.
+	EvDrain EventType = "drain"
+	// EvFiddle is an applied fiddle operation (detail = op and args).
+	EvFiddle EventType = "fiddle"
+	// EvMissedTicks is the stepping ticker catching up after overrun
+	// (value = ticks made up).
+	EvMissedTicks EventType = "missed-ticks"
+)
+
+// Event is one entry of the thermal event log.
+type Event struct {
+	// Seq is the log-assigned sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// At is the clock time of the event, as a duration since the log
+	// was created (daemon uptime on a real clock; emulated elapsed
+	// time on a virtual one).
+	At time.Duration `json:"at_ns"`
+	// Type classifies the event.
+	Type EventType `json:"type"`
+	// Machine and Node locate it in the model ("" when not applicable).
+	Machine string `json:"machine,omitempty"`
+	Node    string `json:"node,omitempty"`
+	// Value carries the event's number (temperature, weight, cap...).
+	Value float64 `json:"value,omitempty"`
+	// Detail carries anything else, preformatted.
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event as one stable, human-readable log line;
+// the Figure 11 golden file pins these lines.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%gs %s", e.At.Seconds(), e.Type)
+	if e.Machine != "" {
+		b.WriteString(" machine=" + e.Machine)
+	}
+	if e.Node != "" {
+		b.WriteString(" node=" + e.Node)
+	}
+	if e.Value != 0 {
+		b.WriteString(" value=" + strconv.FormatFloat(e.Value, 'g', -1, 64))
+	}
+	if e.Detail != "" {
+		b.WriteString(" detail=" + e.Detail)
+	}
+	return b.String()
+}
+
+// EventLog is a fixed-capacity, clock-stamped ring of Events with
+// fan-out to live subscribers (the /events SSE stream). Appends are
+// cheap but not allocation-free — events are per-decision, not
+// per-step, so the rate is a few per observation period at most.
+//
+// On a clock.Virtual the stamps — and, under a lockstep harness, the
+// sequence — are deterministic.
+type EventLog struct {
+	clk   clock.Clock
+	epoch time.Time
+
+	mu   sync.Mutex
+	ring []Event
+	head int
+	n    int
+	seq  uint64
+	subs map[chan Event]struct{}
+}
+
+// NewEventLog creates a log retaining up to capacity events (default
+// 4096 when <= 0), stamping them from clk (nil means the real clock).
+// The log's epoch is clk's current instant.
+func NewEventLog(capacity int, clk clock.Clock) *EventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &EventLog{
+		clk:   clk,
+		epoch: clk.Now(),
+		ring:  make([]Event, capacity),
+		subs:  map[chan Event]struct{}{},
+	}
+}
+
+// Emit appends an event, filling its Seq and At. It is safe for
+// concurrent use. Slow subscribers miss events rather than blocking
+// the emitter (they can re-sync from the ring with Since).
+func (l *EventLog) Emit(typ EventType, machine, node string, value float64, detail string) Event {
+	e := Event{Type: typ, Machine: machine, Node: node, Value: value, Detail: detail}
+	at := l.clk.Now().Sub(l.epoch)
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	e.At = at
+	l.ring[l.head] = e
+	l.head = (l.head + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	for ch := range l.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	l.mu.Unlock()
+	return e
+}
+
+// Seq returns the sequence number of the most recent event (0 when
+// empty).
+func (l *EventLog) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Since returns a copy of the retained events with Seq > after, oldest
+// first. Since(0) returns everything retained.
+func (l *EventLog) Since(after uint64) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	start := l.head - l.n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for k := 0; k < l.n; k++ {
+		e := l.ring[(start+k)%len(l.ring)]
+		if e.Seq > after {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a live listener: every future event is sent to
+// the returned channel (buffered; events are dropped, not blocked on,
+// when the buffer is full). Call the cancel func to unsubscribe.
+func (l *EventLog) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	ch := make(chan Event, buffer)
+	l.mu.Lock()
+	l.subs[ch] = struct{}{}
+	l.mu.Unlock()
+	cancel := func() {
+		l.mu.Lock()
+		delete(l.subs, ch)
+		l.mu.Unlock()
+	}
+	return ch, cancel
+}

@@ -64,6 +64,23 @@ func OpName(op byte) string {
 	}
 }
 
+// OpCode is the inverse of OpName: it resolves a human-readable
+// operation name (as accepted by the fiddle tool and the control
+// plane's POST /fiddle) back to its code. ok is false for unknown
+// names.
+func OpCode(name string) (op byte, ok bool) {
+	for _, c := range []byte{
+		OpPinInlet, OpUnpinInlet, OpSetNodeTemp, OpSetSourceTemp,
+		OpSetHeatK, OpSetAirFraction, OpSetFanFlow, OpSetPowerScale,
+		OpSetMachinePower,
+	} {
+		if OpName(c) == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
 // ValidateFiddle checks an operation's argument counts.
 func ValidateFiddle(op *FiddleOp) error {
 	shape, ok := opShape[op.Op]

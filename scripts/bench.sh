@@ -19,6 +19,10 @@
 # second for the loopback-UDP daemon stack (docs/virtual-time.md) —
 # so BENCH_*.json tracks online-mode throughput alongside the solver
 # numbers.
+#
+# Benchmarks run with -benchmem, so B/op and allocs/op land in each
+# entry's metrics; scripts/bench_diff.sh uses allocs/op to flag hot
+# paths that were allocation-free and have started allocating.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,9 +33,9 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 if [ "$#" -gt 0 ]; then
-    go test -benchtime=1x -run='^$' "$@" ./... | tee "$raw"
+    go test -benchtime=1x -benchmem -run='^$' "$@" ./... | tee "$raw"
 else
-    go test -bench=. -benchtime=1x -run='^$' ./... | tee "$raw"
+    go test -bench=. -benchtime=1x -benchmem -run='^$' ./... | tee "$raw"
 fi
 
 # Convert `go test -bench` lines into a JSON document:

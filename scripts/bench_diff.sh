@@ -13,6 +13,13 @@
 # docs/performance.md), so this is a tripwire for gross regressions,
 # not a pass/fail check. GitHub Actions renders the `::warning::`
 # lines as annotations.
+#
+# allocs/op, by contrast, is deterministic: when both files carry it
+# (bench.sh runs with -benchmem), any benchmark that was allocation-
+# free in the baseline and now allocates gets a warning regardless of
+# min-ratio — the zero-alloc hot paths (solver stepping, telemetry
+# sampling) must not silently regress. Baselines recorded before
+# -benchmem simply skip this check.
 set -eu
 
 if [ "$#" -lt 2 ]; then
@@ -25,14 +32,19 @@ minratio="${3:-0.5}"
 
 # The JSON is machine-written, one benchmark object per line, so a sed
 # scrape is reliable: "name value" pairs for benchmarks that report
-# machine-steps/s.
+# machine-steps/s, and likewise for allocs/op.
 extract() {
     sed -n 's#.*"name": "\([^"]*\)".*"machine-steps/s": \([0-9.e+]*\).*#\1 \2#p' "$1"
 }
+extract_allocs() {
+    sed -n 's#.*"name": "\([^"]*\)".*"allocs/op": \([0-9.e+]*\).*#\1 \2#p' "$1"
+}
 
 basetmp="$(mktemp)"
-trap 'rm -f "$basetmp"' EXIT
+allocstmp="$(mktemp)"
+trap 'rm -f "$basetmp" "$allocstmp"' EXIT
 extract "$base" > "$basetmp"
+extract_allocs "$base" > "$allocstmp"
 
 extract "$cur" | awk -v minratio="$minratio" -v basefile="$base" '
 NR == FNR { baseline[$1] = $2; next }
@@ -55,3 +67,22 @@ END {
     }
 }
 ' "$basetmp" -
+
+# Allocation tripwire: a benchmark that was 0 allocs/op in the
+# baseline must stay 0. Unlike throughput this is deterministic, so
+# any regression is flagged; the warning is still advisory (exit 0)
+# because the hard gate is the benchmark job itself.
+extract_allocs "$cur" | awk -v basefile="$base" '
+NR == FNR { baseline[$1] = $2; next }
+$1 in baseline {
+    compared++
+    if (baseline[$1] == 0 && $2 > 0) {
+        printf "::warning::%s allocates %d times/op but was allocation-free in the %s baseline\n",
+            $1, $2, basefile
+    }
+}
+END {
+    if (compared) printf "%d benchmark(s) checked for allocation regressions\n", compared
+    else printf "no allocs/op data in common (baseline predates -benchmem?); skipping allocation check\n"
+}
+' "$allocstmp" -
