@@ -13,6 +13,8 @@ import (
 	"time"
 
 	mercury "github.com/darklab/mercury"
+	"github.com/darklab/mercury/internal/causal"
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/experiments"
 	"github.com/darklab/mercury/internal/fanctl"
 	"github.com/darklab/mercury/internal/fiddle"
@@ -122,6 +124,65 @@ func BenchmarkScaleoutStep(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchStepTracing steps a 100-machine room with solverd's ticker
+// instrumentation around each step: clock read, step, span emit. A nil
+// tracer is the -trace-spans-off configuration every daemon runs by
+// default.
+func benchStepTracing(b *testing.B, tracer *causal.Tracer) {
+	b.Helper()
+	const n = 100
+	c, err := model.DefaultCluster("room", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := solver.New(c, solver.Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := s.SetUtilization(fmt.Sprintf("machine%d", i), model.UtilCPU,
+			units.Fraction(float64(i%10)/10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		var begin time.Duration
+		if tracer != nil {
+			begin = tracer.Now()
+		}
+		s.Step()
+		steps++
+		if tracer != nil {
+			tracer.Emit(causal.Span{
+				Trace: tracer.NewTrace("solver-step"),
+				Kind:  causal.KindStep,
+				Begin: begin,
+				End:   tracer.Now(),
+				Step:  steps,
+			})
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "machine-steps/s")
+}
+
+// BenchmarkStepTracingOff is the stepping loop with causal tracing
+// disabled — the configuration every daemon runs unless -trace-spans
+// is given. It must stay at 0 allocs/op and within noise of the
+// uninstrumented loop (docs/observability.md).
+func BenchmarkStepTracingOff(b *testing.B) {
+	benchStepTracing(b, nil)
+}
+
+// BenchmarkStepTracingOn is the same loop recording a solver-step span
+// per step into the tracer's ring, as solverd does under -trace-spans.
+func BenchmarkStepTracingOn(b *testing.B) {
+	benchStepTracing(b, causal.NewTracer(4096, clock.Real{}))
 }
 
 // BenchmarkActiveSetIdle measures quiescence-based stepping

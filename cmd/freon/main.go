@@ -30,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/experiments"
 	"github.com/darklab/mercury/internal/fiddle"
@@ -49,14 +50,20 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the per-minute timeline")
 		onlineRun = flag.Bool("online", false, "run the base policy over loopback UDP daemons at warp speed")
 		ctlAddr   = flag.String("ctl", "", "HTTP control-plane address, e.g. 127.0.0.1:9369 (/healthz /metrics /state /events; see docs/observability.md)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
+		traceOn   = flag.Bool("trace-spans", false, "record causal spans for thermal emergencies; served at /spans on the -ctl address")
 	)
 	flag.Parse()
+	if *pprofOn && *ctlAddr == "" {
+		fmt.Fprintln(os.Stderr, "freon: -pprof requires -ctl")
+		os.Exit(2)
+	}
 
 	var err error
 	if *onlineRun {
-		err = runOnline(*machines, *duration, *seed, *ctlAddr)
+		err = runOnline(*machines, *duration, *seed, *ctlAddr, *traceOn)
 	} else {
-		err = run(*policy, *machines, *duration, *seed, *quiet, *ctlAddr)
+		err = run(*policy, *machines, *duration, *seed, *quiet, *ctlAddr, *pprofOn, *traceOn)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "freon:", err)
@@ -66,7 +73,7 @@ func main() {
 
 // runOnline drives the full daemon stack over loopback UDP in
 // deterministic lockstep and prints the Figure 11 summary.
-func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string) error {
+func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string, traceOn bool) error {
 	start := time.Now()
 	res, err := online.Run(online.Config{
 		Machines: machines,
@@ -74,6 +81,7 @@ func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string)
 		Duration: duration,
 		Script:   online.Fig11Script,
 		CtlAddr:  ctlAddr,
+		Trace:    traceOn,
 	})
 	if err != nil {
 		return err
@@ -91,10 +99,19 @@ func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string)
 	if len(res.Events) > 0 {
 		fmt.Printf("thermal events: %d (first: %s)\n", len(res.Events), res.Events[0])
 	}
+	if len(res.Spans) > 0 {
+		traces := map[uint64]bool{}
+		for _, s := range res.Spans {
+			if s.Kind == causal.KindEmergency {
+				traces[s.Trace] = true
+			}
+		}
+		fmt.Printf("causal spans: %d (%d emergency traces)\n", len(res.Spans), len(traces))
+	}
 	return nil
 }
 
-func run(policy string, machines int, duration time.Duration, seed int64, quiet bool, ctlAddr string) error {
+func run(policy string, machines int, duration time.Duration, seed int64, quiet bool, ctlAddr string, pprofOn, traceOn bool) error {
 	sim, err := experiments.NewSim(machines, seed, duration)
 	if err != nil {
 		return err
@@ -116,13 +133,17 @@ fiddle machine3 temperature inlet 35.6
 	if ctlAddr != "" {
 		events = telemetry.NewEventLog(0, sim.Clock)
 	}
+	var tracer *causal.Tracer
+	if traceOn {
+		tracer = causal.NewTracer(0, sim.Clock)
+	}
 
 	var activeFn func() int
 	var stateFn func() any
 	switch policy {
 	case "base", "twostage":
 		fr, err := freon.New(sim.Cluster.Machines(), sim.Solver, sim.Bal, sim.Power(),
-			freon.Config{TwoStage: policy == "twostage", Events: events})
+			freon.Config{TwoStage: policy == "twostage", Events: events, Tracer: tracer})
 		if err != nil {
 			return err
 		}
@@ -135,7 +156,7 @@ fiddle machine3 temperature inlet 35.6
 			regions[m] = i % 2
 		}
 		ec, err := freon.NewEC(sim.Cluster.Machines(), sim.Solver, sim.Solver, sim.Bal, sim.Power(),
-			freon.ECConfig{Config: freon.Config{Events: events}, Regions: regions})
+			freon.ECConfig{Config: freon.Config{Events: events, Tracer: tracer}, Regions: regions})
 		if err != nil {
 			return err
 		}
@@ -159,6 +180,12 @@ fiddle machine3 temperature inlet 35.6
 		opts := []ctl.Option{ctl.WithEvents(events)}
 		if stateFn != nil {
 			opts = append(opts, ctl.WithState(stateFn))
+		}
+		if tracer != nil {
+			opts = append(opts, ctl.WithTracer(tracer))
+		}
+		if pprofOn {
+			opts = append(opts, ctl.WithPprof())
 		}
 		cs := ctl.New(opts...)
 		bound, err := cs.Start(ctlAddr)

@@ -1,0 +1,118 @@
+// Command mercury-dash aggregates the observability output of a
+// Mercury cluster's daemons into one control plane. It subscribes to
+// each target's /events SSE stream, polls its /spans ring and scrapes
+// its /metrics, merges everything into a cluster timeline keyed by
+// causal trace ID, and serves:
+//
+//	GET /healthz     — liveness probe
+//	GET /metrics     — the dash's own registry, including the
+//	                   detect-to-actuate and detect-to-recover
+//	                   latency histograms
+//	GET /state       — aggregate cluster state: per-target health,
+//	                   scraped metrics, embedded /state documents
+//	GET /timeline    — the merged event+span timeline as JSON
+//	GET /trace.json  — Chrome trace-event export; load it in Perfetto
+//	                   or chrome://tracing
+//
+// Example, against a solverd and a monitord with control planes:
+//
+//	mercury-dash -targets solverd=127.0.0.1:9367,monitord1=127.0.0.1:9368 \
+//	    -listen 127.0.0.1:9400
+//
+// See docs/observability.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/darklab/mercury/internal/ctl"
+	"github.com/darklab/mercury/internal/dash"
+	"github.com/darklab/mercury/internal/telemetry"
+)
+
+func main() {
+	var (
+		targetsFlag = flag.String("targets", "", "comma-separated targets, name=host:port or host:port")
+		listen      = flag.String("listen", "127.0.0.1:9400", "HTTP address for the aggregate control plane")
+		poll        = flag.Duration("poll", 2*time.Second, "span/state/metrics polling period")
+		pprofFlag   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		once        = flag.Bool("once", false, "poll every target once, print the aggregate state, and exit")
+	)
+	flag.Parse()
+	if err := run(*targetsFlag, *listen, *poll, *pprofFlag, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "mercury-dash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(targetsFlag, listen string, poll time.Duration, withPprof, once bool) error {
+	targets, err := dash.ParseTargets(targetsFlag)
+	if err != nil {
+		return err
+	}
+	a := dash.New(targets, telemetry.NewRegistry())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	if once {
+		if err := a.PollOnce(ctx); err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(a.State())
+	}
+
+	opts := []ctl.Option{
+		ctl.WithRegistry(a.Registry()),
+		ctl.WithState(func() any { return a.State() }),
+		ctl.WithHandler("/timeline", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(a.Timeline())
+		})),
+		ctl.WithHandler("/trace.json", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = a.WriteChromeTrace(w)
+		})),
+	}
+	if withPprof {
+		opts = append(opts, ctl.WithPprof())
+	}
+	srv := ctl.New(opts...)
+	bound, err := srv.Start(listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("mercury-dash: aggregating %d target(s) on http://%s\n", len(targets), bound)
+
+	a.Stream(ctx)
+	go func() {
+		tick := time.NewTicker(poll)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				_ = a.PollOnce(ctx) // per-target errors surface in /state
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/dotlang"
@@ -66,20 +67,22 @@ func (p *probeList) Set(v string) error {
 
 // runConfig carries the command's flags into run.
 type runConfig struct {
-	modelPath string
-	machines  int
-	listen    string
-	step      time.Duration
-	workers   int
-	tracePath string
-	outPath   string
-	sample    time.Duration
-	loadState string
-	saveState string
-	warp      float64
-	activeSet bool
-	ctlAddr   string
-	probes    probeList
+	modelPath  string
+	machines   int
+	listen     string
+	step       time.Duration
+	workers    int
+	tracePath  string
+	outPath    string
+	sample     time.Duration
+	loadState  string
+	saveState  string
+	warp       float64
+	activeSet  bool
+	ctlAddr    string
+	pprofOn    bool
+	traceSpans bool
+	probes     probeList
 }
 
 func main() {
@@ -101,8 +104,15 @@ func main() {
 	flag.Float64Var(&cfg.warp, "warp", 0, "on-line virtual-time warp factor: emulated seconds per wall second (0 = real time)")
 	flag.BoolVar(&cfg.activeSet, "active-set", false, "skip machines at exact thermal fixed points (bit-identical; see docs/performance.md)")
 	flag.StringVar(&cfg.ctlAddr, "ctl", "", "HTTP control-plane address for on-line mode, e.g. 127.0.0.1:9367 (/healthz /metrics /state /events /fiddle; see docs/observability.md)")
+	flag.BoolVar(&cfg.pprofOn, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
+	flag.BoolVar(&cfg.traceSpans, "trace-spans", false, "record causal spans (solver steps, utilization applies, sensor serves) and serve them at /spans on the -ctl address")
 	flag.Var(&cfg.probes, "probe", "machine/node to record off-line (repeatable)")
 	flag.Parse()
+
+	if cfg.pprofOn && cfg.ctlAddr == "" {
+		fmt.Fprintln(os.Stderr, "mercury-solver: -pprof requires -ctl")
+		os.Exit(2)
+	}
 
 	stopProfile := func() {}
 	if *cpuProfile != "" {
@@ -203,6 +213,11 @@ func run(cfg runConfig) error {
 		events = telemetry.NewEventLog(0, clk)
 		opts = append(opts, solverd.WithTelemetry(reg, events))
 	}
+	var tracer *causal.Tracer
+	if cfg.traceSpans {
+		tracer = causal.NewTracer(0, clk)
+		opts = append(opts, solverd.WithTracer(tracer))
+	}
 	srv, err := solverd.Listen(cfg.listen, sol, opts...)
 	if err != nil {
 		return err
@@ -215,12 +230,19 @@ func run(cfg runConfig) error {
 			len(sol.Machines()), srv.Addr(), cfg.step)
 	}
 	if cfg.ctlAddr != "" {
-		cs := ctl.New(
+		ctlOpts := []ctl.Option{
 			ctl.WithRegistry(reg),
 			ctl.WithEvents(events),
 			ctl.WithState(func() any { return srv.State() }),
 			ctl.WithFiddle(srv.ApplyFiddle),
-		)
+		}
+		if tracer != nil {
+			ctlOpts = append(ctlOpts, ctl.WithTracer(tracer))
+		}
+		if cfg.pprofOn {
+			ctlOpts = append(ctlOpts, ctl.WithPprof())
+		}
+		cs := ctl.New(ctlOpts...)
 		bound, err := cs.Start(cfg.ctlAddr)
 		if err != nil {
 			return err

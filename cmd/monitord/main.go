@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/model"
@@ -48,10 +49,16 @@ func main() {
 		synDisk  = flag.Float64("synthetic-disk", 0, "fixed synthetic disk utilization (with -synthetic-cpu)")
 		warp     = flag.Float64("warp", 0, "virtual-time warp factor: emulated seconds per wall second (0 = real time)")
 		ctlAddr  = flag.String("ctl", "", "HTTP control-plane address, e.g. 127.0.0.1:9368 (/healthz /metrics /state; see docs/observability.md)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
+		traceOn  = flag.Bool("trace-spans", false, "record causal sample spans and serve them at /spans on the -ctl address")
 	)
 	flag.Parse()
 	if *machine == "" {
 		fmt.Fprintln(os.Stderr, "monitord: -machine is required")
+		os.Exit(2)
+	}
+	if *pprofOn && *ctlAddr == "" {
+		fmt.Fprintln(os.Stderr, "monitord: -pprof requires -ctl")
 		os.Exit(2)
 	}
 
@@ -78,6 +85,14 @@ func main() {
 	if *ctlAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
+	var tracer *causal.Tracer
+	if *traceOn {
+		tclk := clk
+		if tclk == nil {
+			tclk = clock.Real{}
+		}
+		tracer = causal.NewTracer(0, tclk)
+	}
 	d, err := monitord.New(monitord.Config{
 		Machine:    *machine,
 		Sampler:    sampler,
@@ -85,6 +100,7 @@ func main() {
 		Interval:   *interval,
 		Clock:      clk,
 		Registry:   reg,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "monitord:", err)
@@ -92,10 +108,17 @@ func main() {
 	}
 	defer d.Close()
 	if *ctlAddr != "" {
-		cs := ctl.New(
+		ctlOpts := []ctl.Option{
 			ctl.WithRegistry(reg),
 			ctl.WithState(func() any { return d.StateSnapshot() }),
-		)
+		}
+		if tracer != nil {
+			ctlOpts = append(ctlOpts, ctl.WithTracer(tracer))
+		}
+		if *pprofOn {
+			ctlOpts = append(ctlOpts, ctl.WithPprof())
+		}
+		cs := ctl.New(ctlOpts...)
 		bound, err := cs.Start(*ctlAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "monitord:", err)

@@ -8,9 +8,15 @@
 //	GET  /events   — thermal event log; SSE stream by default
 //	                 (?from=<seq> replays retained events first),
 //	                 one JSON array with ?format=json
+//	GET  /spans    — causal-trace span ring as a JSON array
+//	                 (?from=<seq> returns spans emitted after seq);
+//	                 404 unless the daemon attached a tracer
 //	POST /fiddle   — JSON fiddle op {"op":"pin-inlet","strings":[...],
 //	                 "floats":[...]}, applied through the daemon's
 //	                 fiddle handler
+//
+// With WithPprof the standard net/http/pprof profiles additionally
+// appear under /debug/pprof/ (opt-in via each daemon's -pprof flag).
 //
 // A Server is cheap and optional: daemons only start one when given a
 // -ctl address, and nothing on any hot path touches it. See
@@ -22,8 +28,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/wire"
 )
@@ -55,12 +63,39 @@ func WithFiddle(fn func(*wire.FiddleOp) error) Option {
 	return func(s *Server) { s.fiddleFn = fn }
 }
 
+// WithTracer serves the daemon's causal-span ring at /spans.
+func WithTracer(t *causal.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by
+// default: profiles expose internals, so daemons gate it behind an
+// explicit -pprof flag.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// WithHandler mounts an extra handler on the server's mux — used by
+// mercury-dash to add its aggregate endpoints to a standard control
+// plane.
+func WithHandler(pattern string, h http.Handler) Option {
+	return func(s *Server) { s.extra = append(s.extra, mount{pattern, h}) }
+}
+
+type mount struct {
+	pattern string
+	handler http.Handler
+}
+
 // Server is one daemon's control plane.
 type Server struct {
 	reg      *telemetry.Registry
 	events   *telemetry.EventLog
 	stateFn  func() any
 	fiddleFn func(*wire.FiddleOp) error
+	tracer   *causal.Tracer
+	pprof    bool
+	extra    []mount
 
 	mux  *http.ServeMux
 	hs   *http.Server
@@ -87,7 +122,20 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/state", s.handleState)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/spans", s.handleSpans)
 	s.mux.HandleFunc("/fiddle", s.handleFiddle)
+	if s.pprof {
+		// The server has its own mux, so the handlers pprof registers
+		// on http.DefaultServeMux must be mounted by hand.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	for _, m := range s.extra {
+		s.mux.Handle(m.pattern, m.handler)
+	}
 	return s
 }
 
@@ -230,6 +278,33 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, from uint6
 			}
 			last = e.Seq
 		}
+	}
+}
+
+// handleSpans serves the span ring as JSON. Unlike /events it has no
+// streaming mode: mercury-dash polls it with ?from=<seq>, which is
+// cheap because Since copies only spans newer than seq.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.NotFound(w, r)
+		return
+	}
+	var from uint64
+	if v := r.URL.Query().Get("from"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &from); err != nil {
+			http.Error(w, "ctl: bad from parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	spans := s.tracer.Since(from)
+	if spans == nil {
+		spans = []causal.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spans); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

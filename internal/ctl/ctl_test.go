@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
+	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/wire"
 )
@@ -166,6 +168,136 @@ func TestEventsSSE(t *testing.T) {
 	if types[1] != "release" {
 		t.Errorf("second event type=%s", types[1])
 	}
+}
+
+// TestEventsSSEWraparoundReplay pins the replay semantics at the
+// ring-buffer boundary: when ?from= points at events the log has
+// already dropped, the stream resumes at the oldest retained event
+// instead of erroring or repeating.
+func TestEventsSSEWraparoundReplay(t *testing.T) {
+	log := telemetry.NewEventLog(4, nil)
+	srv := New(WithEvents(log))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Overflow the ring: seqs 1..10 emitted, only 7..10 retained.
+	for i := 0; i < 10; i++ {
+		log.Emit(telemetry.EvPDOutput, fmt.Sprintf("m%d", i+1), "", float64(i), "")
+	}
+
+	resp, err := http.Get("http://" + addr + "/events?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	var ids []string
+	deadline := time.After(5 * time.Second)
+	for len(ids) < 4 {
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				close(lineCh)
+			}
+		}()
+		select {
+		case <-deadline:
+			t.Fatalf("timed out; ids=%v", ids)
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("stream closed early; ids=%v", ids)
+			}
+			if strings.HasPrefix(line, "id: ") {
+				ids = append(ids, strings.TrimPrefix(line, "id: "))
+			}
+		}
+	}
+	if want := []string{"7", "8", "9", "10"}; !equalStrings(ids, want) {
+		t.Errorf("replay across wraparound = %v, want %v (oldest retained first, no repeats)", ids, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpans(t *testing.T) {
+	clk := clock.NewVirtual()
+	tr := causal.NewTracer(16, clk)
+	srv := New(WithTracer(tr))
+
+	id := tr.NewTrace("m1")
+	tr.Emit(causal.Span{Trace: id, Kind: causal.KindEmergency, Machine: "m1"})
+	tr.Emit(causal.Span{Trace: id, Kind: causal.KindRecovery, Machine: "m1"})
+
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/spans", nil))
+	if rr.Code != 200 {
+		t.Fatalf("spans status = %d", rr.Code)
+	}
+	var spans []causal.Span
+	if err := json.Unmarshal(rr.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("spans not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if len(spans) != 2 || spans[0].Kind != causal.KindEmergency || spans[0].Trace != id {
+		t.Errorf("spans = %+v", spans)
+	}
+
+	// Incremental poll: only spans past the cursor.
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/spans?from=1", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Kind != causal.KindRecovery {
+		t.Errorf("spans from=1 = %+v", spans)
+	}
+
+	// A caught-up cursor yields an empty array, not null.
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/spans?from=99", nil))
+	if body := strings.TrimSpace(rr.Body.String()); body != "[]" {
+		t.Errorf("caught-up spans body = %q, want []", body)
+	}
+
+	if rr := getCode(srv, "/spans?from=x"); rr != 400 {
+		t.Errorf("bad from = %d, want 400", rr)
+	}
+	if rr := getCode(New(), "/spans"); rr != 404 {
+		t.Errorf("spans without tracer = %d, want 404", rr)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	if code := getCode(New(), "/debug/pprof/"); code != 404 {
+		t.Errorf("pprof without opt-in = %d, want 404", code)
+	}
+	srv := New(WithPprof())
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "goroutine") {
+		t.Errorf("pprof index = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func getCode(srv *Server, path string) int {
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr.Code
 }
 
 func TestFiddle(t *testing.T) {

@@ -1,0 +1,193 @@
+package dash
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/darklab/mercury/internal/causal"
+	"github.com/darklab/mercury/internal/telemetry"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events for spans, "i" instants for telemetry events,
+// "M" metadata for process and thread names. Perfetto and
+// chrome://tracing both load the JSON object form emitted here.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace exports the merged timeline as Chrome trace-event
+// JSON. Processes are targets, threads are machines (or the span's
+// node when it has no machine), spans become complete ("X") slices
+// categorized by their trace ID, and telemetry events become global
+// instants. Output is deterministic: spans in canonical order, events
+// in timeline order, thread IDs assigned by sorted label.
+func (a *Aggregator) WriteChromeTrace(w io.Writer) error {
+	a.mu.Lock()
+	spans := make([]srcSpan, 0, len(a.spans))
+	for _, s := range a.spans {
+		spans = append(spans, s)
+	}
+	events := map[string][]telemetry.Event{}
+	for _, t := range a.targets {
+		events[t.Name] = append([]telemetry.Event(nil), a.events[t.Name]...)
+	}
+	a.mu.Unlock()
+
+	sort.Slice(spans, func(i, j int) bool { return spanLess(&spans[i].Span, &spans[j].Span) })
+
+	pids := map[string]int{}
+	var out chromeTrace
+	for i, t := range a.targets {
+		pids[t.Name] = i + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"name": t.Name},
+		})
+	}
+
+	// Threads: one per machine (cluster-level spans and events land on
+	// tid 1, "cluster"). Labels are collected first and numbered in
+	// sorted order so the export does not depend on map iteration.
+	labels := map[string]bool{}
+	for _, s := range spans {
+		labels[spanThread(&s.Span)] = true
+	}
+	for _, t := range a.targets {
+		for _, e := range events[t.Name] {
+			labels[eventThread(e)] = true
+		}
+	}
+	sorted := make([]string, 0, len(labels))
+	for l := range labels {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+	tids := map[string]int{}
+	for i, l := range sorted {
+		tids[l] = i + 1
+		for _, t := range a.targets {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pids[t.Name], Tid: i + 1,
+				Args: map[string]any{"name": l},
+			})
+		}
+	}
+
+	for _, s := range spans {
+		args := map[string]any{
+			"trace": fmt.Sprintf("%016x", s.Trace),
+			"id":    fmt.Sprintf("%016x", s.ID),
+		}
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", s.Parent)
+		}
+		if s.Node != "" {
+			args["node"] = s.Node
+		}
+		if s.Value != 0 {
+			args["value"] = s.Value
+		}
+		if s.Step != 0 {
+			args["step"] = s.Step
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: string(s.Kind),
+			Cat:  fmt.Sprintf("trace-%016x", s.Trace),
+			Ph:   "X",
+			Ts:   micros(s.Begin),
+			Dur:  micros(s.End - s.Begin),
+			Pid:  pids[s.Source],
+			Tid:  tids[spanThread(&s.Span)],
+			Args: args,
+		})
+	}
+	for _, t := range a.targets {
+		for _, e := range events[t.Name] {
+			args := map[string]any{}
+			if e.Machine != "" {
+				args["machine"] = e.Machine
+			}
+			if e.Node != "" {
+				args["node"] = e.Node
+			}
+			if e.Value != 0 {
+				args["value"] = e.Value
+			}
+			if e.Detail != "" {
+				args["detail"] = e.Detail
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: string(e.Type),
+				Cat:  "event",
+				Ph:   "i",
+				S:    "g",
+				Ts:   micros(e.At),
+				Pid:  pids[t.Name],
+				Tid:  tids[eventThread(e)],
+				Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
+
+func spanThread(s *causal.Span) string {
+	if s.Machine != "" {
+		return s.Machine
+	}
+	if s.Node != "" {
+		return s.Node
+	}
+	return "cluster"
+}
+
+func eventThread(e telemetry.Event) string {
+	if e.Machine != "" {
+		return e.Machine
+	}
+	return "cluster"
+}
+
+// spanLess is the canonical span order (causal.Sort) as a comparator.
+func spanLess(a, b *causal.Span) bool {
+	if a.Begin != b.Begin {
+		return a.Begin < b.Begin
+	}
+	if a.Trace != b.Trace {
+		return a.Trace < b.Trace
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Machine != b.Machine {
+		return a.Machine < b.Machine
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.ID < b.ID
+}

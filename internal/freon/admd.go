@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/telemetry"
 )
 
@@ -49,6 +50,7 @@ type Admd struct {
 	blocked   map[string]map[string]bool
 
 	events *telemetry.EventLog // nil disables decision logging
+	tracer *causal.Tracer      // nil disables actuation spans
 }
 
 // emit logs a decision when an event log is attached.
@@ -56,6 +58,25 @@ func (a *Admd) emit(typ telemetry.EventType, machine string, value float64, deta
 	if a.events != nil {
 		a.events.Emit(typ, machine, "", value, detail)
 	}
+}
+
+// span records an actuation span under the report's context. Node
+// carries the request class for class-block spans.
+func (a *Admd) span(tc causal.Context, kind causal.Kind, machine, node string, value float64) {
+	if a.tracer == nil || tc.Zero() {
+		return
+	}
+	now := a.tracer.Now()
+	a.tracer.Emit(causal.Span{
+		Trace:   tc.Trace,
+		Parent:  tc.Span,
+		Kind:    kind,
+		Begin:   now,
+		End:     now,
+		Machine: machine,
+		Node:    node,
+		Value:   value,
+	})
 }
 
 // NewAdmd builds an admission controller over a balancer. nominal is
@@ -106,19 +127,26 @@ func (a *Admd) PollConns(machine string) error {
 
 // HandleReport applies one tempd report.
 func (a *Admd) HandleReport(r Report) error {
+	return a.HandleReportCtx(causal.Context{}, r)
+}
+
+// HandleReportCtx is HandleReport under a trace context: actuations
+// the report causes (class blocks, weight changes, connection caps,
+// releases) are recorded as spans parented to it.
+func (a *Admd) HandleReportCtx(tc causal.Context, r Report) error {
 	switch {
 	case r.Hot:
 		if a.shedClass != nil {
 			// Stage one: keep the hot components' heavy classes away.
-			if fresh, err := a.blockClasses(r.Machine, r.HotNodes); err != nil {
+			if fresh, err := a.blockClasses(tc, r.Machine, r.HotNodes); err != nil {
 				return err
 			} else if fresh {
 				return nil // give stage one a period to work
 			}
 		}
-		return a.restrict(r.Machine, r.Output)
+		return a.restrict(tc, r.Machine, r.Output)
 	case r.JustCool:
-		return a.Release(r.Machine)
+		return a.releaseCtx(tc, r.Machine)
 	default:
 		return nil
 	}
@@ -126,7 +154,7 @@ func (a *Admd) HandleReport(r Report) error {
 
 // blockClasses applies stage one for the hot nodes; it reports whether
 // any new class block was installed this period.
-func (a *Admd) blockClasses(machine string, hotNodes []string) (bool, error) {
+func (a *Admd) blockClasses(tc causal.Context, machine string, hotNodes []string) (bool, error) {
 	fresh := false
 	for _, node := range hotNodes {
 		class, ok := a.shedClass[node]
@@ -144,6 +172,7 @@ func (a *Admd) blockClasses(machine string, hotNodes []string) (bool, error) {
 		}
 		a.blocked[machine][class] = true
 		a.emit(telemetry.EvClassBlocked, machine, 0, class)
+		a.span(tc, causal.KindClassBlock, machine, class, 0)
 		fresh = true
 	}
 	return fresh, nil
@@ -173,7 +202,7 @@ func sortedKeys(m map[string]bool) []string {
 
 // restrict reduces the hot server's share to 1/(output+1) of its
 // current share and caps its connections at the recent average.
-func (a *Admd) restrict(machine string, output float64) error {
+func (a *Admd) restrict(tc causal.Context, machine string, output float64) error {
 	w, err := a.bal.Weight(machine)
 	if err != nil {
 		return err
@@ -192,6 +221,7 @@ func (a *Admd) restrict(machine string, output float64) error {
 			return err
 		}
 		a.emit(telemetry.EvWeightChange, machine, newW, "")
+		a.span(tc, causal.KindWeight, machine, "", newW)
 	}
 
 	t, ok := a.conns[machine]
@@ -208,6 +238,7 @@ func (a *Admd) restrict(machine string, output float64) error {
 		return err
 	}
 	a.emit(telemetry.EvConnCap, machine, float64(limit), "")
+	a.span(tc, causal.KindConnCap, machine, "", float64(limit))
 	a.limited[machine] = true
 	a.adjusted[machine]++
 	return nil
@@ -217,6 +248,10 @@ func (a *Admd) restrict(machine string, output float64) error {
 // on the offered load to the server"), including stage-one class
 // blocks.
 func (a *Admd) Release(machine string) error {
+	return a.releaseCtx(causal.Context{}, machine)
+}
+
+func (a *Admd) releaseCtx(tc causal.Context, machine string) error {
 	if err := a.bal.SetWeight(machine, a.nominal); err != nil {
 		return err
 	}
@@ -237,6 +272,7 @@ func (a *Admd) Release(machine string) error {
 	}
 	a.limited[machine] = false
 	a.emit(telemetry.EvRelease, machine, 0, "")
+	a.span(tc, causal.KindRelease, machine, "", 0)
 	return nil
 }
 

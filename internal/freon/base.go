@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/telemetry"
 )
 
@@ -26,6 +27,7 @@ type Freon struct {
 	offline map[string]bool
 	reports map[string]Report
 	events  *telemetry.EventLog
+	trace   *emTracer
 }
 
 // New builds the base Freon over the given machines.
@@ -56,8 +58,11 @@ func New(machines []string, sensors Sensors, bal Balancer, power Power, cfg Conf
 		offline: map[string]bool{},
 		reports: map[string]Report{},
 		events:  cfg.Events,
+		trace:   newEmTracer(cfg.Tracer),
 	}
 	admd.events = cfg.Events
+	admd.tracer = cfg.Tracer
+	sensors = wrapSensors(sensors, f.trace)
 	for _, m := range machines {
 		td, err := NewTempd(m, sensors, cfg)
 		if err != nil {
@@ -106,13 +111,14 @@ func (f *Freon) TickPeriod() error {
 		}
 		f.reports[m] = r
 		emitReport(f.events, r)
+		actCtx := f.trace.report(r)
 		if r.RedLine {
 			if err := f.shutdown(m, r); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := f.admd.HandleReport(r); err != nil {
+		if err := f.admd.HandleReportCtx(actCtx, r); err != nil {
 			return err
 		}
 	}
@@ -150,15 +156,17 @@ func (f *Freon) shutdown(machine string, r Report) error {
 		}
 	}
 	f.offline[machine] = true
-	if f.events != nil {
-		var maxTemp float64
-		for _, t := range r.Temps {
-			if float64(t) > maxTemp {
-				maxTemp = float64(t)
-			}
+	var maxTemp float64
+	for _, t := range r.Temps {
+		if float64(t) > maxTemp {
+			maxTemp = float64(t)
 		}
+	}
+	if f.events != nil {
 		f.events.Emit(telemetry.EvRedLine, machine, "", maxTemp, "")
 	}
+	f.trace.action(f.trace.ctx(machine), causal.KindRedLine, machine, maxTemp)
+	f.trace.drop(machine)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
@@ -88,6 +89,7 @@ type EC struct {
 	power  Power
 	utils  Utils
 	events *telemetry.EventLog
+	trace  *emTracer
 
 	phase       map[string]machinePhase
 	bootLeft    map[string]int
@@ -127,6 +129,7 @@ func NewEC(machines []string, sensors Sensors, utils Utils, bal Balancer, power 
 		power:       power,
 		utils:       utils,
 		events:      cfg.Events,
+		trace:       newEmTracer(cfg.Tracer),
 		phase:       map[string]machinePhase{},
 		bootLeft:    map[string]int{},
 		emergencies: map[int]int{},
@@ -138,7 +141,9 @@ func NewEC(machines []string, sensors Sensors, utils Utils, bal Balancer, power 
 		return nil, err
 	}
 	admd.events = cfg.Events
+	admd.tracer = cfg.Tracer
 	e.admd = admd
+	sensors = wrapSensors(sensors, e.trace)
 	regionSet := map[int]bool{}
 	for _, m := range machines {
 		td, err := NewTempd(m, sensors, cfg.Config)
@@ -248,6 +253,7 @@ func (e *EC) TickPeriod() error {
 
 	// Gather reports from every powered machine.
 	reports := map[string]Report{}
+	ctxs := map[string]causal.Context{}
 	for _, m := range e.order {
 		if e.phase[m] == phaseOff {
 			continue
@@ -258,11 +264,12 @@ func (e *EC) TickPeriod() error {
 		}
 		reports[m] = r
 		emitReport(e.events, r)
+		ctxs[m] = e.trace.report(r)
 	}
 
 	// "if (need to add a server) and (at least one server is off)".
 	if e.needAdd() && e.offCount() > 0 {
-		if err := e.turnOnOne(); err != nil {
+		if err := e.turnOnOne(causal.Context{}); err != nil {
 			return err
 		}
 	}
@@ -279,19 +286,21 @@ func (e *EC) TickPeriod() error {
 			if e.offCount() == 0 && !e.canRemove(1) {
 				// "all servers in the cluster need to be active":
 				// manage in place with the base policy.
-				if err := e.admd.HandleReport(r); err != nil {
+				if err := e.admd.HandleReportCtx(ctxs[m], r); err != nil {
 					return err
 				}
 				continue
 			}
 			if !e.canRemove(1) {
-				// "if (cannot remove a server) turn on a server".
-				if err := e.turnOnOne(); err != nil {
+				// "if (cannot remove a server) turn on a server". The
+				// replacement's power-on belongs to the emergency that
+				// forced it.
+				if err := e.turnOnOne(ctxs[m]); err != nil {
 					return err
 				}
 			}
 			// "turn off the hot server".
-			if err := e.beginDrain(m); err != nil {
+			if err := e.beginDrain(m, ctxs[m]); err != nil {
 				return err
 			}
 		case r.JustCool:
@@ -299,11 +308,11 @@ func (e *EC) TickPeriod() error {
 			if e.emergencies[region] < 0 {
 				e.emergencies[region] = 0
 			}
-			if err := e.admd.HandleReport(r); err != nil {
+			if err := e.admd.HandleReportCtx(ctxs[m], r); err != nil {
 				return err
 			}
 		default:
-			if err := e.admd.HandleReport(r); err != nil {
+			if err := e.admd.HandleReportCtx(ctxs[m], r); err != nil {
 				return err
 			}
 		}
@@ -335,6 +344,9 @@ func (e *EC) advanceLifecycles() {
 				if e.events != nil {
 					e.events.Emit(telemetry.EvPowerOff, m, "", 0, "drain-complete")
 				}
+				// Close the machine's trace: a later boot starts fresh.
+				e.trace.action(e.trace.ctx(m), causal.KindPowerOff, m, 0)
+				e.trace.drop(m)
 			}
 		}
 	}
@@ -432,7 +444,8 @@ func (e *EC) offCount() int {
 
 // turnOnOne selects a region round-robin — requiring an off server,
 // preferring regions without emergencies — and boots one server there.
-func (e *EC) turnOnOne() error {
+// A non-zero tc ties the power-on to the emergency that triggered it.
+func (e *EC) turnOnOne(tc causal.Context) error {
 	pick := func(requireCalm bool) string {
 		for i := 0; i < len(e.regions); i++ {
 			region := e.regions[(e.rr+i)%len(e.regions)]
@@ -464,13 +477,14 @@ func (e *EC) turnOnOne() error {
 	if e.events != nil {
 		e.events.Emit(telemetry.EvPowerOn, m, "", float64(e.cfg.Regions[m]), "")
 	}
+	e.trace.action(tc, causal.KindPowerOn, m, float64(e.cfg.Regions[m]))
 	return nil
 }
 
 // beginDrain quiesces a server and lets its connections finish before
 // power-off ("waiting for its current connections to terminate, and
 // then shutting it down").
-func (e *EC) beginDrain(machine string) error {
+func (e *EC) beginDrain(machine string, tc causal.Context) error {
 	if err := e.bal.Quiesce(machine); err != nil {
 		return err
 	}
@@ -479,6 +493,7 @@ func (e *EC) beginDrain(machine string) error {
 	if e.events != nil {
 		e.events.Emit(telemetry.EvDrain, machine, "", 0, "")
 	}
+	e.trace.action(tc, causal.KindDrain, machine, 0)
 	return nil
 }
 
@@ -524,7 +539,7 @@ func (e *EC) shrink() error {
 			}
 			return cands[i].name < cands[j].name
 		})
-		if err := e.beginDrain(cands[0].name); err != nil {
+		if err := e.beginDrain(cands[0].name, e.trace.ctx(cands[0].name)); err != nil {
 			return err
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
@@ -109,6 +110,11 @@ type Config struct {
 	// virtual clock the log is deterministic (the Figure 11 golden test
 	// pins it).
 	Events *telemetry.EventLog
+	// Tracer, when non-nil, records causal spans: each machine's
+	// thermal emergency roots a trace connecting its onset to the
+	// sensor reads, PD decisions, admd actuations, and power
+	// transitions it causes, through to the recovery (internal/causal).
+	Tracer *causal.Tracer
 }
 
 // DefaultComponents returns Section 5's monitored components.

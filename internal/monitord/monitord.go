@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/procfs"
@@ -28,6 +29,7 @@ type Daemon struct {
 	client   *udprpc.Client
 	interval time.Duration
 	clk      clock.Clock
+	tracer   *causal.Tracer
 	seq      uint32
 	sent     atomic.Uint64
 	errs     atomic.Uint64
@@ -58,6 +60,10 @@ type Config struct {
 	// Registry, when non-nil, receives the daemon's metrics: updates
 	// sent, sample errors, and one utilization gauge per stream.
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, records a causal span for every sample and
+	// embeds its trace context in the update datagram's padding bytes,
+	// so the solver can attribute its apply back to this sample.
+	Tracer *causal.Tracer
 }
 
 // New connects a Daemon to the solver daemon.
@@ -84,6 +90,7 @@ func New(cfg Config) (*Daemon, error) {
 		client:   client,
 		interval: cfg.Interval,
 		clk:      cfg.Clock,
+		tracer:   cfg.Tracer,
 		reg:      cfg.Registry,
 		gauges:   map[model.UtilSource]*telemetry.Gauge{},
 		lastUtil: map[model.UtilSource]float64{},
@@ -99,8 +106,15 @@ func New(cfg Config) (*Daemon, error) {
 	return d, nil
 }
 
-// SampleOnce takes one sample and sends one update datagram.
+// SampleOnce takes one sample and sends one update datagram. With a
+// tracer attached, each sample roots a fresh trace: the sample span's
+// context rides in the datagram so the solver's apply (and anything
+// it causes) links back here.
 func (d *Daemon) SampleOnce() error {
+	var begin time.Duration
+	if d.tracer != nil {
+		begin = d.tracer.Now()
+	}
 	utils, err := d.sampler.Sample()
 	if err != nil {
 		d.errs.Add(1)
@@ -113,6 +127,22 @@ func (d *Daemon) SampleOnce() error {
 	u := &wire.UtilUpdate{Machine: d.machine, Seq: seq}
 	for src, v := range utils {
 		u.Entries = append(u.Entries, wire.UtilEntry{Source: src, Util: v})
+	}
+	if d.tracer != nil {
+		// Span IDs are content-derived, so the ID can be computed
+		// before the span is emitted — the datagram needs it first.
+		span := causal.Span{
+			Trace:   d.tracer.NewTrace(d.machine),
+			Kind:    causal.KindSample,
+			Begin:   begin,
+			Machine: d.machine,
+		}
+		span.ID = causal.SpanID(&span)
+		u.Trace = wire.TraceContext{Trace: span.Trace, Span: span.ID}
+		defer func() {
+			span.End = d.tracer.Now()
+			d.tracer.Emit(span)
+		}()
 	}
 	d.record(utils)
 	buf, err := wire.MarshalUtilUpdate(u)

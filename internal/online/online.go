@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/fiddle"
@@ -72,6 +73,12 @@ type Config struct {
 	// reachable over HTTP while the lockstep loop executes, without
 	// perturbing determinism — the control plane only reads.
 	CtlAddr string
+	// Trace turns on causal tracing: one tracer shared by every
+	// daemon, stamped from the virtual clock, so the span set is
+	// bit-identical across runs (Result.Spans, and /spans on the
+	// control plane). Off by default — the hot paths then carry no
+	// tracing cost beyond a nil check.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +129,10 @@ type Result struct {
 	// from the shared virtual clock, it is bit-identical across runs
 	// with the same configuration (the Figure 11 golden test pins it).
 	Events []telemetry.Event
+	// Spans is the run's causal-span set in canonical order (nil
+	// unless Config.Trace). Like Events it is bit-identical across
+	// runs — the Figure 11 trace golden pins it.
+	Spans []causal.Span
 	// CtlAddr is the control plane's bound address ("" when disabled).
 	CtlAddr string
 }
@@ -137,6 +148,13 @@ func Run(cfg Config) (*Result, error) {
 	// deterministic.
 	reg := telemetry.NewRegistry()
 	events := telemetry.NewEventLog(8192, clk)
+	var tracer *causal.Tracer
+	if cfg.Trace {
+		// Sized so a full 2000 s Figure 11 run — about nine spans per
+		// emulated second plus the emergency traffic — fits without the
+		// ring dropping anything.
+		tracer = causal.NewTracer(1<<15, clk)
+	}
 
 	// Thermal model + solver behind the UDP daemon.
 	cm, err := model.DefaultCluster("room", cfg.Machines)
@@ -147,8 +165,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := solverd.Listen("127.0.0.1:0", sol,
-		solverd.WithClock(clk), solverd.WithTelemetry(reg, events))
+	solverOpts := []solverd.Option{solverd.WithClock(clk), solverd.WithTelemetry(reg, events)}
+	if tracer != nil {
+		solverOpts = append(solverOpts, solverd.WithTracer(tracer))
+	}
+	srv, err := solverd.Listen("127.0.0.1:0", sol, solverOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -158,12 +179,16 @@ func Run(cfg Config) (*Result, error) {
 
 	ctlAddr := ""
 	if cfg.CtlAddr != "" {
-		cs := ctl.New(
+		ctlOpts := []ctl.Option{
 			ctl.WithRegistry(reg),
 			ctl.WithEvents(events),
 			ctl.WithState(func() any { return srv.State() }),
 			ctl.WithFiddle(srv.ApplyFiddle),
-		)
+		}
+		if tracer != nil {
+			ctlOpts = append(ctlOpts, ctl.WithTracer(tracer))
+		}
+		cs := ctl.New(ctlOpts...)
 		ctlAddr, err = cs.Start(cfg.CtlAddr)
 		if err != nil {
 			return nil, err
@@ -213,6 +238,7 @@ func Run(cfg Config) (*Result, error) {
 			SolverAddr: addr,
 			Interval:   time.Second,
 			Clock:      clk,
+			Tracer:     tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -249,6 +275,7 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			defer s.Close()
+			s.SetTracer(tracer)
 			sens.sensors[m][node] = s
 		}
 	}
@@ -258,6 +285,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	defer fc.Close()
 	cfg.Freon.Events = events
+	cfg.Freon.Tracer = tracer
 	fr, err := freon.New(names, sens, bal, power{wc: wc, fc: fc}, cfg.Freon)
 	if err != nil {
 		return nil, err
@@ -362,6 +390,9 @@ func Run(cfg Config) (*Result, error) {
 	res.FreonPolls = runner.Polls()
 	res.FreonPeriod = runner.Periods()
 	res.Events = events.Since(0)
+	if tracer != nil {
+		res.Spans = tracer.Canonical()
+	}
 	res.CtlAddr = ctlAddr
 	return res, nil
 }
@@ -407,6 +438,17 @@ func (u udpSensors) Temperature(machine, node string) (units.Celsius, error) {
 		return 0, fmt.Errorf("online: no sensor open for %s/%s", machine, node)
 	}
 	return s.Read()
+}
+
+// TemperatureCtx implements freon.ContextSensors: the trace context
+// rides the sensor request so solverd's serving span joins the
+// emergency's trace.
+func (u udpSensors) TemperatureCtx(tc causal.Context, machine, node string) (units.Celsius, error) {
+	s := u.sensors[machine][node]
+	if s == nil {
+		return 0, fmt.Errorf("online: no sensor open for %s/%s", machine, node)
+	}
+	return s.ReadCtx(tc)
 }
 
 // power switches a machine off in the emulated web cluster directly

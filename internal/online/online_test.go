@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/experiments"
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/freon"
@@ -160,6 +161,7 @@ func TestOnlineDeterministic(t *testing.T) {
 		Duration: 300 * time.Second,
 		Script:   script,
 		CtlAddr:  "127.0.0.1:0",
+		Trace:    true,
 	}
 	a, err := online.Run(cfg)
 	if err != nil {
@@ -204,6 +206,20 @@ func TestOnlineDeterministic(t *testing.T) {
 	}
 	if a.CtlAddr == "" {
 		t.Error("control plane address not reported")
+	}
+
+	// The canonical span set must also replay bit for bit — trace IDs,
+	// span IDs, parents, clock stamps, everything.
+	if len(a.Spans) == 0 {
+		t.Fatal("tracing enabled but no spans recorded")
+	}
+	if len(a.Spans) != len(b.Spans) {
+		t.Fatalf("span counts differ: %d vs %d", len(a.Spans), len(b.Spans))
+	}
+	for i := range a.Spans {
+		if a.Spans[i] != b.Spans[i] {
+			t.Fatalf("span %d differs:\n  %s\n  %s", i, a.Spans[i], b.Spans[i])
+		}
 	}
 }
 
@@ -273,6 +289,121 @@ func TestOnlineFig11EventsGolden(t *testing.T) {
 	}
 	if len(raised) == 0 || raised[0].Machine != "machine1" {
 		t.Errorf("emergency-raised events = %v", raised)
+	}
+}
+
+// TestOnlineFig11TraceGolden runs the Figure 11 emergency with causal
+// tracing on and pins the emergency traces — onset, PD outputs, sensor
+// reads, weight and cap actuations, recovery — to a golden file. It
+// also asserts the structural property the tracing layer exists for:
+// at least one trace forms a connected tree from the emergency root
+// through a PD decision and an admd actuation to the recovery.
+func TestOnlineFig11TraceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2000s run; skipped in -short")
+	}
+	res, err := online.Run(online.Config{
+		Duration: 2000 * time.Second,
+		Script:   online.Fig11Script,
+		Trace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spans) == 0 {
+		t.Fatal("tracing enabled but no spans recorded")
+	}
+
+	// Collect the traces rooted by an emergency span; the golden pins
+	// exactly those (the background sample/step traces would bloat it
+	// to tens of thousands of lines).
+	roots := map[uint64]causal.Span{}
+	for _, s := range res.Spans {
+		if s.Kind == causal.KindEmergency {
+			roots[s.Trace] = s
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no emergency spans; the Figure 11 emergency was not traced")
+	}
+	byTrace := map[uint64][]causal.Span{}
+	for _, s := range res.Spans {
+		if _, ok := roots[s.Trace]; ok {
+			byTrace[s.Trace] = append(byTrace[s.Trace], s)
+		}
+	}
+
+	var b strings.Builder
+	var emergency []causal.Span
+	for _, s := range res.Spans {
+		if _, ok := roots[s.Trace]; ok {
+			emergency = append(emergency, s)
+		}
+	}
+	for _, s := range emergency {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "fig11_trace.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("trace log diverges from golden at line %d:\n  got:  %s\n  want: %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("trace log length differs from golden: got %d lines, want %d",
+			len(gotLines), len(wantLines))
+	}
+
+	// Structural check: a fully connected emergency trace — every span
+	// except the root points at a parent inside the trace, and the
+	// onset → PD output → actuation → recovery chain is present.
+	complete := 0
+	for traceID, spans := range byTrace {
+		ids := map[uint64]bool{}
+		for _, s := range spans {
+			ids[s.ID] = true
+		}
+		kinds := map[causal.Kind]bool{}
+		connected := true
+		for _, s := range spans {
+			kinds[s.Kind] = true
+			if s.Kind == causal.KindEmergency {
+				continue
+			}
+			if s.Parent == 0 || !ids[s.Parent] {
+				t.Errorf("trace %016x: span %s has parent outside the trace", traceID, s)
+				connected = false
+			}
+		}
+		if connected && kinds[causal.KindPDOutput] && kinds[causal.KindRecovery] &&
+			(kinds[causal.KindWeight] || kinds[causal.KindConnCap] || kinds[causal.KindClassBlock]) {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Errorf("no trace links emergency onset through a PD output and an actuation to recovery; traces = %d", len(byTrace))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/udprpc"
 	"github.com/darklab/mercury/internal/units"
@@ -67,9 +68,35 @@ func OpenOptions(addr, machine, node string, opts Options) (*Sensor, error) {
 	return s, nil
 }
 
+// SetTracer attaches a causal tracer to the sensor's UDP client so
+// ReadCtx exchanges record rpc spans. Call before the first traced
+// read.
+func (s *Sensor) SetTracer(t *causal.Tracer) { s.client.SetTracer(t) }
+
 // Read returns the node's current emulated temperature.
 func (s *Sensor) Read() (units.Celsius, error) {
-	buf, err := s.client.Do(s.req)
+	return s.ReadCtx(causal.Context{})
+}
+
+// ReadCtx is Read carrying a trace context: the request travels as a
+// version-2 datagram whose context the solver daemon echoes in the
+// reply (and records as a sensor-serve span). The untraced path keeps
+// using the pre-marshaled version-1 request and allocates nothing for
+// tracing.
+func (s *Sensor) ReadCtx(tc causal.Context) (units.Celsius, error) {
+	req := s.req
+	if !tc.Zero() {
+		var err error
+		req, err = wire.MarshalSensorRead(&wire.SensorRead{
+			Machine: s.machine,
+			Node:    s.node,
+			Trace:   wire.TraceContext{Trace: tc.Trace, Span: tc.Span},
+		})
+		if err != nil {
+			return 0, fmt.Errorf("sensor: %s/%s: %w", s.machine, s.node, err)
+		}
+	}
+	buf, err := s.client.DoCtx(tc, req)
 	if err != nil {
 		return 0, fmt.Errorf("sensor: %s/%s: %w", s.machine, s.node, err)
 	}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/solver"
@@ -46,6 +47,7 @@ type Server struct {
 	clk    clock.Clock
 	stats  Stats
 	stepFn func() // test seam; defaults to sol.Step
+	tracer *causal.Tracer
 
 	// Telemetry (nil unless WithTelemetry). fillFn is sol.ReadAllTemps
 	// hoisted into a field once so the sampling path allocates nothing.
@@ -81,6 +83,15 @@ func WithClock(clk clock.Clock) Option {
 // Either argument may be nil to skip that half.
 func WithTelemetry(reg *telemetry.Registry, events *telemetry.EventLog) Option {
 	return func(s *Server) { s.reg = reg; s.events = events }
+}
+
+// WithTracer attaches a causal tracer: utilization updates carrying a
+// trace context get an apply span parented to the originating sample,
+// traced sensor reads get a serve span (and their reply echoes the
+// context), and every ticker step gets its own step span. With no
+// tracer the datagram and stepping paths are untouched.
+func WithTracer(t *causal.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
 }
 
 // WithTempSampling tunes the temperature table: capacity samples
@@ -190,8 +201,21 @@ func (s *Server) StartTicker() {
 				expected := int64(s.clk.Now().Sub(start) / step)
 				taken := 0
 				for int64(s.stats.SolverSteps.Load()) < expected {
+					var begin time.Duration
+					if s.tracer != nil {
+						begin = s.tracer.Now()
+					}
 					s.stepFn()
 					n := s.stats.SolverSteps.Add(1)
+					if s.tracer != nil {
+						s.tracer.Emit(causal.Span{
+							Trace: s.tracer.NewTrace("solver-step"),
+							Kind:  causal.KindStep,
+							Begin: begin,
+							End:   s.tracer.Now(),
+							Step:  n,
+						})
+					}
 					if s.temps != nil && n%s.sampleEvery == 0 {
 						s.temps.Sample(time.Duration(n)*step, s.fillFn)
 					}
@@ -286,6 +310,10 @@ func (s *Server) handleUtil(buf []byte) {
 	if stale {
 		return
 	}
+	var begin time.Duration
+	if s.tracer != nil {
+		begin = s.tracer.Now()
+	}
 	for _, e := range u.Entries {
 		// Unknown machines/sources are counted but otherwise ignored:
 		// monitord may legitimately report streams the model does not
@@ -295,6 +323,17 @@ func (s *Server) handleUtil(buf []byte) {
 		}
 	}
 	s.stats.UtilUpdates.Add(1)
+	if s.tracer != nil && u.Trace.Trace != 0 {
+		s.tracer.Emit(causal.Span{
+			Trace:   u.Trace.Trace,
+			Parent:  u.Trace.Span,
+			Kind:    causal.KindUtilApply,
+			Begin:   begin,
+			End:     s.tracer.Now(),
+			Machine: u.Machine,
+			Step:    s.stats.SolverSteps.Load(),
+		})
+	}
 }
 
 func (s *Server) handleSensor(buf []byte) []byte {
@@ -304,13 +343,32 @@ func (s *Server) handleSensor(buf []byte) []byte {
 		return nil
 	}
 	s.stats.SensorReads.Add(1)
-	rep := &wire.SensorReply{Status: wire.StatusOK}
+	var begin time.Duration
+	if s.tracer != nil {
+		begin = s.tracer.Now()
+	}
+	// Echo the request's trace context so the exchange stays
+	// attributable at the client.
+	rep := &wire.SensorReply{Status: wire.StatusOK, Trace: req.Trace}
 	temp, err := s.sol.Temperature(req.Machine, req.Node)
 	if err != nil {
 		rep.Status = wire.StatusUnknown
 		rep.Message = err.Error()
 	} else {
 		rep.Temp = temp
+	}
+	if s.tracer != nil && req.Trace.Trace != 0 {
+		s.tracer.Emit(causal.Span{
+			Trace:   req.Trace.Trace,
+			Parent:  req.Trace.Span,
+			Kind:    causal.KindSensorServe,
+			Begin:   begin,
+			End:     s.tracer.Now(),
+			Machine: req.Machine,
+			Node:    req.Node,
+			Value:   float64(rep.Temp),
+			Step:    s.stats.SolverSteps.Load(),
+		})
 	}
 	out, err := wire.MarshalSensorReply(rep)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 )
 
@@ -36,11 +37,17 @@ type Client struct {
 	timeout time.Duration
 	retries int
 	clk     clock.Clock
+	tracer  *causal.Tracer
 
 	replies   chan []byte
 	closed    chan struct{}
 	closeOnce sync.Once
 }
+
+// SetTracer attaches a causal tracer: DoCtx exchanges performed under
+// a trace context then record an rpc span covering the send-to-reply
+// interval. Must be called before the client is used.
+func (c *Client) SetTracer(t *causal.Tracer) { c.tracer = t }
 
 // Dial connects to a UDP address on the real clock. timeout <= 0 and
 // retries <= 0 select the defaults.
@@ -110,28 +117,53 @@ func (c *Client) readLoop() {
 	}
 }
 
+// DoCtx is Do under a trace context: when the client has a tracer and
+// the context is live, the exchange is recorded as an rpc span (child
+// of the context's span) whose Value counts the attempts used.
+func (c *Client) DoCtx(tc causal.Context, req []byte) ([]byte, error) {
+	if c.tracer == nil || tc.Zero() {
+		return c.Do(req)
+	}
+	begin := c.tracer.Now()
+	rep, attempts, err := c.do(req)
+	c.tracer.Emit(causal.Span{
+		Trace:  tc.Trace,
+		Parent: tc.Span,
+		Kind:   causal.KindRPC,
+		Begin:  begin,
+		End:    c.tracer.Now(),
+		Value:  float64(attempts),
+	})
+	return rep, err
+}
+
 // Do sends req and returns the first reply datagram, retrying when no
 // reply arrives within the client's timeout on its clock. The returned
 // slice is freshly allocated.
 func (c *Client) Do(req []byte) ([]byte, error) {
+	rep, _, err := c.do(req)
+	return rep, err
+}
+
+func (c *Client) do(req []byte) ([]byte, int, error) {
 	// Drop replies from abandoned earlier attempts so a stale datagram
 	// is not mistaken for the answer to this request.
 	c.drain()
 	var lastErr error
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if _, err := c.conn.Write(req); err != nil {
-			return nil, fmt.Errorf("udprpc: send: %w", err)
+			return nil, attempt + 1, fmt.Errorf("udprpc: send: %w", err)
 		}
 		select {
 		case rep := <-c.replies:
-			return rep, nil
+			return rep, attempt + 1, nil
 		case <-c.clk.After(c.timeout):
 			lastErr = ErrTimeout
 		case <-c.closed:
-			return nil, fmt.Errorf("udprpc: client closed")
+			return nil, attempt + 1, fmt.Errorf("udprpc: client closed")
 		}
 	}
-	return nil, fmt.Errorf("udprpc: no reply after %d attempts: %w", c.retries, lastErr)
+	return nil, c.retries, fmt.Errorf("udprpc: no reply after %d attempts: %w", c.retries, lastErr)
 }
 
 // drain discards queued replies without blocking.

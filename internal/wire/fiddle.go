@@ -191,7 +191,7 @@ func Type(buf []byte) (byte, error) {
 	if len(buf) < 2 {
 		return 0, ErrShort
 	}
-	if buf[0] != Version {
+	if buf[0] != Version && buf[0] != VersionTrace {
 		return 0, ErrBadVersion
 	}
 	return buf[1], nil

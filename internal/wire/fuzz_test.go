@@ -19,6 +19,19 @@ func fuzzSeeds(f *testing.F) {
 	f.Add(r)
 	rep, _ := MarshalSensorReply(&SensorReply{Status: StatusOK, Temp: 42})
 	f.Add(rep)
+	// Version-2 (traced) forms of the three messages that carry a
+	// trace context, so both encodings are always in the corpus.
+	tc := TraceContext{Trace: 0xFEEDFACE, Span: 0xBEEF}
+	u2, _ := MarshalUtilUpdate(&UtilUpdate{
+		Machine: "machine1", Seq: 8,
+		Entries: []UtilEntry{{Source: model.UtilCPU, Util: 0.5}},
+		Trace:   tc,
+	})
+	f.Add(u2)
+	r2, _ := MarshalSensorRead(&SensorRead{Machine: "m", Node: "cpu", Trace: tc})
+	f.Add(r2)
+	rep2, _ := MarshalSensorReply(&SensorReply{Status: StatusOK, Temp: 42, Trace: tc})
+	f.Add(rep2)
 	op, _ := MarshalFiddleOp(&FiddleOp{Op: OpPinInlet, Strings: []string{"m"}, Floats: []float64{30}})
 	f.Add(op)
 	lr, _ := MarshalListReply(&ListReply{Status: StatusOK, Names: []string{"a", "b"}})
@@ -41,6 +54,13 @@ func FuzzUnmarshalUtilUpdate(f *testing.F) {
 		}
 		if len(buf) != UtilUpdateSize {
 			t.Fatalf("re-encoded size %d", len(buf))
+		}
+		again, err := UnmarshalUtilUpdate(buf)
+		if err != nil {
+			t.Fatalf("re-encoded update does not decode: %v", err)
+		}
+		if again.Trace != u.Trace {
+			t.Fatalf("trace context unstable: %+v -> %+v", u.Trace, again.Trace)
 		}
 		for _, e := range u.Entries {
 			if !e.Util.Valid() {

@@ -30,11 +30,33 @@ const (
 	MsgListReply   = 0x07
 )
 
-// Version is the protocol version byte leading every datagram.
-const Version = 0x01
+// Version is the baseline protocol version byte leading every
+// datagram. VersionTrace marks the extended encoding that carries a
+// causal trace context: utilization updates place it in the spare
+// padding bytes of the fixed 128-byte datagram, sensor reads and
+// replies append it after the version-1 payload. A message without a
+// trace context is always emitted as version 1, byte-identical to the
+// pre-trace protocol, so old and new daemons interoperate: a version-1
+// receiver simply never learns about traces.
+const (
+	Version      = 0x01
+	VersionTrace = 0x02
+)
 
 // UtilUpdateSize is the fixed size of a utilization update datagram.
 const UtilUpdateSize = 128
+
+// UtilTraceOffset is where the version-2 trace trailer begins inside
+// a utilization update: a flag byte (TraceFlag) followed by the trace
+// and span IDs as big-endian u64s, occupying the last 17 of the 128
+// bytes. Version-2 updates must fit their payload in the first 111
+// bytes, and the slack between payload end and the trailer must be
+// zero — anything else is rejected as malformed.
+const UtilTraceOffset = UtilUpdateSize - 17
+
+// TraceFlag is the marker byte opening a utilization update's trace
+// trailer.
+const TraceFlag = 0x01
 
 // MaxReplySize bounds every reply datagram.
 const MaxReplySize = 512
@@ -54,7 +76,19 @@ var (
 	ErrBadType     = errors.New("wire: unexpected message type")
 	ErrStringSize  = errors.New("wire: string exceeds 255 bytes")
 	ErrTooManyUtil = errors.New("wire: too many utilization entries")
+	ErrBadTrace    = errors.New("wire: malformed trace context")
 )
+
+// TraceContext is a causal trace reference carried across the wire
+// (see internal/causal). A zero context means "untraced" and selects
+// the version-1 encoding.
+type TraceContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Zero reports whether the context carries no trace.
+func (c TraceContext) Zero() bool { return c == TraceContext{} }
 
 // UtilEntry is one (source, utilization) pair of an update.
 type UtilEntry struct {
@@ -64,10 +98,13 @@ type UtilEntry struct {
 
 // UtilUpdate is the periodic report monitord sends to the solver: the
 // monitored machine's component utilizations for the last interval.
+// A non-zero Trace selects the version-2 encoding, which carries the
+// context in the datagram's spare padding bytes (see UtilTraceOffset).
 type UtilUpdate struct {
 	Machine string
 	Seq     uint32
 	Entries []UtilEntry
+	Trace   TraceContext
 }
 
 type encoder struct {
@@ -79,6 +116,10 @@ func (e *encoder) byte(b byte) { e.buf = append(e.buf, b) }
 
 func (e *encoder) u32(v uint32) {
 	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
 }
 
 func (e *encoder) f64(v float64) {
@@ -117,6 +158,15 @@ func (d *decoder) u32() (uint32, error) {
 	return v, nil
 }
 
+func (d *decoder) u64() (uint64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, ErrShort
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
 func (d *decoder) f64() (float64, error) {
 	if d.pos+8 > len(d.buf) {
 		return 0, ErrShort
@@ -140,29 +190,81 @@ func (d *decoder) str() (string, error) {
 }
 
 func header(typ byte) *encoder {
+	return headerVer(Version, typ)
+}
+
+func headerVer(ver, typ byte) *encoder {
 	e := &encoder{}
-	e.byte(Version)
+	e.byte(ver)
 	e.byte(typ)
 	return e
 }
 
+// traceHeader opens a datagram at version 1 or 2 depending on whether
+// a trace context rides along; untraced messages stay byte-identical
+// to the pre-trace protocol.
+func traceHeader(typ byte, tc TraceContext) *encoder {
+	if tc.Zero() {
+		return headerVer(Version, typ)
+	}
+	return headerVer(VersionTrace, typ)
+}
+
 func checkHeader(buf []byte, typ byte) (*decoder, error) {
-	d := &decoder{buf: buf}
-	v, err := d.byte()
+	d, v, err := checkHeaderVer(buf, typ)
 	if err != nil {
 		return nil, err
 	}
 	if v != Version {
 		return nil, ErrBadVersion
 	}
+	return d, nil
+}
+
+// checkHeaderVer accepts version 1 and 2 datagrams and reports which
+// was seen; messages that never grew a version-2 form keep using
+// checkHeader, which still rejects everything but version 1.
+func checkHeaderVer(buf []byte, typ byte) (*decoder, byte, error) {
+	d := &decoder{buf: buf}
+	v, err := d.byte()
+	if err != nil {
+		return nil, 0, err
+	}
+	if v != Version && v != VersionTrace {
+		return nil, 0, ErrBadVersion
+	}
 	t, err := d.byte()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if t != typ {
-		return nil, ErrBadType
+		return nil, 0, ErrBadType
 	}
-	return d, nil
+	return d, v, nil
+}
+
+// trace encodes the 16-byte trace context (trace ID then span ID).
+func (e *encoder) trace(tc TraceContext) {
+	e.u64(tc.Trace)
+	e.u64(tc.Span)
+}
+
+// trace decodes a trace context and rejects a zero trace ID: version-2
+// datagrams exist only to carry a trace, so an absent one is
+// malformed, not empty.
+func (d *decoder) trace() (TraceContext, error) {
+	var tc TraceContext
+	var err error
+	if tc.Trace, err = d.u64(); err != nil {
+		return tc, err
+	}
+	if tc.Span, err = d.u64(); err != nil {
+		return tc, err
+	}
+	if tc.Trace == 0 {
+		return tc, ErrBadTrace
+	}
+	return tc, nil
 }
 
 // MarshalUtilUpdate encodes an update into exactly UtilUpdateSize
@@ -170,7 +272,7 @@ func checkHeader(buf []byte, typ byte) (*decoder, error) {
 func MarshalUtilUpdate(u *UtilUpdate) ([]byte, error) {
 	entries := append([]UtilEntry(nil), u.Entries...)
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Source < entries[j].Source })
-	e := header(MsgUtilUpdate)
+	e := traceHeader(MsgUtilUpdate, u.Trace)
 	e.str(u.Machine)
 	e.u32(u.Seq)
 	if len(entries) > 8 {
@@ -184,11 +286,20 @@ func MarshalUtilUpdate(u *UtilUpdate) ([]byte, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
-	if len(e.buf) > UtilUpdateSize {
-		return nil, fmt.Errorf("wire: utilization update needs %d bytes, limit %d", len(e.buf), UtilUpdateSize)
+	limit := UtilUpdateSize
+	if !u.Trace.Zero() {
+		limit = UtilTraceOffset
+	}
+	if len(e.buf) > limit {
+		return nil, fmt.Errorf("wire: utilization update needs %d bytes, limit %d", len(e.buf), limit)
 	}
 	padded := make([]byte, UtilUpdateSize)
 	copy(padded, e.buf)
+	if !u.Trace.Zero() {
+		padded[UtilTraceOffset] = TraceFlag
+		binary.BigEndian.PutUint64(padded[UtilTraceOffset+1:], u.Trace.Trace)
+		binary.BigEndian.PutUint64(padded[UtilTraceOffset+9:], u.Trace.Span)
+	}
 	return padded, nil
 }
 
@@ -199,7 +310,7 @@ func UnmarshalUtilUpdate(buf []byte) (*UtilUpdate, error) {
 	if len(buf) != UtilUpdateSize {
 		return nil, ErrBadSize
 	}
-	d, err := checkHeader(buf, MsgUtilUpdate)
+	d, ver, err := checkHeaderVer(buf, MsgUtilUpdate)
 	if err != nil {
 		return nil, err
 	}
@@ -231,20 +342,48 @@ func UnmarshalUtilUpdate(buf []byte) (*UtilUpdate, error) {
 			Util:   units.Fraction(v).Clamp(),
 		})
 	}
+	if ver == VersionTrace {
+		// The payload must leave the trailer bytes alone, every spare
+		// byte between payload and trailer must still be zero padding,
+		// and the trailer must open with the flag byte. Rejecting the
+		// malformed cases here keeps a corrupted or truncated-payload
+		// datagram from being silently read as traced.
+		if d.pos > UtilTraceOffset {
+			return nil, ErrBadTrace
+		}
+		for _, b := range buf[d.pos:UtilTraceOffset] {
+			if b != 0 {
+				return nil, ErrBadTrace
+			}
+		}
+		if buf[UtilTraceOffset] != TraceFlag {
+			return nil, ErrBadTrace
+		}
+		td := &decoder{buf: buf, pos: UtilTraceOffset + 1}
+		if u.Trace, err = td.trace(); err != nil {
+			return nil, err
+		}
+	}
 	return u, nil
 }
 
-// SensorRead asks the solver for one node's emulated temperature.
+// SensorRead asks the solver for one node's emulated temperature. A
+// non-zero Trace selects the version-2 encoding, which appends the
+// context after the node name; the reply echoes it back.
 type SensorRead struct {
 	Machine string
 	Node    string
+	Trace   TraceContext
 }
 
 // MarshalSensorRead encodes a read request.
 func MarshalSensorRead(r *SensorRead) ([]byte, error) {
-	e := header(MsgSensorRead)
+	e := traceHeader(MsgSensorRead, r.Trace)
 	e.str(r.Machine)
 	e.str(r.Node)
+	if !r.Trace.Zero() {
+		e.trace(r.Trace)
+	}
 	if e.err != nil {
 		return nil, e.err
 	}
@@ -253,7 +392,7 @@ func MarshalSensorRead(r *SensorRead) ([]byte, error) {
 
 // UnmarshalSensorRead decodes a read request.
 func UnmarshalSensorRead(buf []byte) (*SensorRead, error) {
-	d, err := checkHeader(buf, MsgSensorRead)
+	d, ver, err := checkHeaderVer(buf, MsgSensorRead)
 	if err != nil {
 		return nil, err
 	}
@@ -264,22 +403,32 @@ func UnmarshalSensorRead(buf []byte) (*SensorRead, error) {
 	if r.Node, err = d.str(); err != nil {
 		return nil, err
 	}
+	if ver == VersionTrace {
+		if r.Trace, err = d.trace(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
-// SensorReply answers a SensorRead.
+// SensorReply answers a SensorRead, echoing the request's trace
+// context (if any) so a traced exchange is attributable end to end.
 type SensorReply struct {
 	Status  byte
 	Temp    units.Celsius
 	Message string // error detail when Status != StatusOK
+	Trace   TraceContext
 }
 
 // MarshalSensorReply encodes a reply.
 func MarshalSensorReply(r *SensorReply) ([]byte, error) {
-	e := header(MsgSensorReply)
+	e := traceHeader(MsgSensorReply, r.Trace)
 	e.byte(r.Status)
 	e.f64(float64(r.Temp))
 	e.str(r.Message)
+	if !r.Trace.Zero() {
+		e.trace(r.Trace)
+	}
 	if e.err != nil {
 		return nil, e.err
 	}
@@ -288,7 +437,7 @@ func MarshalSensorReply(r *SensorReply) ([]byte, error) {
 
 // UnmarshalSensorReply decodes a reply.
 func UnmarshalSensorReply(buf []byte) (*SensorReply, error) {
-	d, err := checkHeader(buf, MsgSensorReply)
+	d, ver, err := checkHeaderVer(buf, MsgSensorReply)
 	if err != nil {
 		return nil, err
 	}
@@ -303,6 +452,11 @@ func UnmarshalSensorReply(buf []byte) (*SensorReply, error) {
 	r.Temp = units.Celsius(v)
 	if r.Message, err = d.str(); err != nil {
 		return nil, err
+	}
+	if ver == VersionTrace {
+		if r.Trace, err = d.trace(); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }

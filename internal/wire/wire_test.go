@@ -3,6 +3,7 @@ package wire
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -276,5 +277,155 @@ func TestOpNames(t *testing.T) {
 	}
 	if OpName(0xEE) != "op-0xee" {
 		t.Errorf("OpName unknown = %q", OpName(0xEE))
+	}
+}
+
+func TestUtilUpdateTraceRoundTrip(t *testing.T) {
+	u := &UtilUpdate{
+		Machine: "machine1",
+		Seq:     9,
+		Entries: []UtilEntry{{Source: model.UtilCPU, Util: 0.5}},
+		Trace:   TraceContext{Trace: 0xDEADBEEF, Span: 0x1234},
+	}
+	buf, err := MarshalUtilUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != UtilUpdateSize {
+		t.Fatalf("size = %d, want %d", len(buf), UtilUpdateSize)
+	}
+	if buf[0] != VersionTrace {
+		t.Fatalf("version byte = %#x, want VersionTrace", buf[0])
+	}
+	if buf[UtilTraceOffset] != TraceFlag {
+		t.Fatalf("trailer flag = %#x, want %#x", buf[UtilTraceOffset], TraceFlag)
+	}
+	got, err := UnmarshalUtilUpdate(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != u.Trace {
+		t.Fatalf("trace = %+v, want %+v", got.Trace, u.Trace)
+	}
+	if got.Machine != "machine1" || got.Seq != 9 {
+		t.Fatalf("payload = %q seq %d", got.Machine, got.Seq)
+	}
+}
+
+func TestUtilUpdateUntracedStaysVersion1(t *testing.T) {
+	// The v1 encoding must be byte-identical with and without the
+	// Trace field in the struct: zero context selects version 1.
+	u := &UtilUpdate{
+		Machine: "machine1",
+		Seq:     42,
+		Entries: []UtilEntry{{Source: model.UtilCPU, Util: 0.75}},
+	}
+	buf, err := MarshalUtilUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != Version {
+		t.Fatalf("version byte = %#x, want %#x", buf[0], Version)
+	}
+	got, err := UnmarshalUtilUpdate(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Trace.Zero() {
+		t.Fatalf("untraced decode produced trace %+v", got.Trace)
+	}
+}
+
+func TestUtilUpdateTraceRejectsMalformed(t *testing.T) {
+	good, err := MarshalUtilUpdate(&UtilUpdate{
+		Machine: "machine1",
+		Entries: []UtilEntry{{Source: model.UtilCPU, Util: 0.5}},
+		Trace:   TraceContext{Trace: 7, Span: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(b []byte)) error {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		_, err := UnmarshalUtilUpdate(b)
+		return err
+	}
+	if err := corrupt(func(b []byte) { b[UtilTraceOffset] = 0x00 }); err != ErrBadTrace {
+		t.Errorf("missing flag byte: err = %v, want ErrBadTrace", err)
+	}
+	if err := corrupt(func(b []byte) { b[UtilTraceOffset-1] = 0xAA }); err != ErrBadTrace {
+		t.Errorf("dirty padding: err = %v, want ErrBadTrace", err)
+	}
+	if err := corrupt(func(b []byte) {
+		// Zero the trace ID: v2 with no trace is malformed.
+		for i := UtilTraceOffset + 1; i < UtilTraceOffset+9; i++ {
+			b[i] = 0
+		}
+	}); err != ErrBadTrace {
+		t.Errorf("zero trace id: err = %v, want ErrBadTrace", err)
+	}
+	// Payload spilling into the trailer region: build a v2 update whose
+	// entries reach past UtilTraceOffset.
+	big := &UtilUpdate{
+		Machine: "a-machine-with-a-rather-long-name-indeed",
+		Entries: []UtilEntry{
+			{Source: model.UtilSource(strings.Repeat("s", 60)), Util: 0.1},
+		},
+		Trace: TraceContext{Trace: 1, Span: 2},
+	}
+	if _, err := MarshalUtilUpdate(big); err == nil {
+		t.Error("oversize traced update: want marshal error")
+	}
+	if _, err := MarshalUtilUpdate(&UtilUpdate{Machine: big.Machine, Entries: big.Entries}); err != nil {
+		t.Errorf("same payload untraced should fit: %v", err)
+	}
+}
+
+func TestSensorReadTraceRoundTrip(t *testing.T) {
+	r := &SensorRead{Machine: "machine1", Node: "cpu", Trace: TraceContext{Trace: 11, Span: 22}}
+	buf, err := MarshalSensorRead(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != VersionTrace {
+		t.Fatalf("version byte = %#x, want VersionTrace", buf[0])
+	}
+	got, err := UnmarshalSensorRead(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Errorf("round trip = %+v", got)
+	}
+	// Truncating the trace trailer must error, not fall back to v1.
+	if _, err := UnmarshalSensorRead(buf[:len(buf)-8]); err != ErrShort {
+		t.Errorf("truncated trailer: err = %v, want ErrShort", err)
+	}
+}
+
+func TestSensorReplyTraceEcho(t *testing.T) {
+	r := &SensorReply{Status: StatusOK, Temp: 66.5, Trace: TraceContext{Trace: 11, Span: 22}}
+	buf, err := MarshalSensorReply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != VersionTrace {
+		t.Fatalf("version byte = %#x, want VersionTrace", buf[0])
+	}
+	got, err := UnmarshalSensorReply(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestTypePeekAcceptsTraceVersion(t *testing.T) {
+	buf, _ := MarshalSensorRead(&SensorRead{Machine: "m", Node: "cpu", Trace: TraceContext{Trace: 3, Span: 4}})
+	typ, err := Type(buf)
+	if err != nil || typ != MsgSensorRead {
+		t.Errorf("Type(v2) = %v, %v", typ, err)
 	}
 }
