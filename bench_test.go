@@ -69,12 +69,20 @@ func BenchmarkSolverIteration(b *testing.B) {
 }
 
 // BenchmarkScaleoutStep measures the sharded stepping loop at cluster
-// scale: machines × worker counts, where workers=1 is the legacy
-// serial loop and workers=auto shards across every CPU via the
-// persistent pool. Temperatures are bit-identical across the variants
-// (asserted by TestParallelDeterminism); the benchmark exists to prove
-// the speedup. On a multi-core runner machines=1000/workers=auto
-// should beat workers=1 by >= 2x.
+// scale: machines × worker counts, where workers=1 is the serial loop
+// and workers=auto shards across every CPU via the persistent
+// shard-owning pool (pool.go) — but goes serial below the
+// ~256-machines-per-worker threshold, so at machines <= 1000 auto
+// matches workers=1 by design. Temperatures are bit-identical across
+// the variants (asserted by TestParallelDeterminism); the benchmark
+// exists to prove the speedup. On a multi-core runner
+// machines=10000/workers=4 must beat workers=1 — CI's scaling assert
+// enforces exactly that pair (.github/workflows/ci.yml).
+//
+// The machines=100000 tier approaches the scale of whole-datacenter
+// thermal studies; model construction alone takes tens of seconds
+// there, so the cluster is built once per size and reused across the
+// worker variants, and only the serial/4-worker pair runs.
 //
 // The loop runs with telemetry sampling live on solverd's cadence
 // (every 10th step into a ring buffer), so the reported ns/op and
@@ -82,19 +90,40 @@ func BenchmarkSolverIteration(b *testing.B) {
 // within noise of the unobserved loop and at 0 allocs/op
 // (docs/observability.md).
 func BenchmarkScaleoutStep(b *testing.B) {
-	for _, n := range []int{10, 100, 1000, 10000} {
-		for _, w := range []struct {
-			name    string
-			workers int
-		}{
-			{"1", 1}, {"2", 2}, {"4", 4}, {"auto", 0},
-		} {
-			b.Run(fmt.Sprintf("machines=%d/workers=%s", n, w.name), func(b *testing.B) {
-				c, err := model.DefaultCluster("room", n)
-				if err != nil {
-					b.Fatal(err)
-				}
-				s, err := solver.New(c, solver.Config{Workers: w.workers})
+	clusters := map[int]*model.Cluster{}
+	cluster := func(n int) *model.Cluster {
+		if c, ok := clusters[n]; ok {
+			return c
+		}
+		c, err := model.DefaultCluster("room", n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clusters[n] = c
+		return c
+	}
+	tiers := []struct {
+		n       int
+		workers []string
+	}{
+		{10, []string{"1", "2", "4", "auto"}},
+		{100, []string{"1", "2", "4", "auto"}},
+		{1000, []string{"1", "2", "4", "auto"}},
+		{10000, []string{"1", "2", "4", "auto"}},
+		{100000, []string{"1", "4"}},
+	}
+	if testing.Short() {
+		tiers = tiers[:4]
+	}
+	for _, tier := range tiers {
+		n := tier.n
+		for _, wname := range tier.workers {
+			workers := 0
+			if wname != "auto" {
+				fmt.Sscanf(wname, "%d", &workers)
+			}
+			b.Run(fmt.Sprintf("machines=%d/workers=%s", n, wname), func(b *testing.B) {
+				s, err := solver.New(cluster(n), solver.Config{Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -95,7 +95,7 @@ func main() {
 	flag.IntVar(&cfg.machines, "machines", 1, "number of default Table 1 servers when -model is not given")
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8367", "UDP address for on-line mode")
 	flag.DurationVar(&cfg.step, "step", time.Second, "solver iteration step")
-	flag.IntVar(&cfg.workers, "workers", 0, "stepping goroutines: 0 = one per CPU, 1 = serial")
+	flag.IntVar(&cfg.workers, "workers", 0, "stepping goroutines: 0 = auto (one per CPU, serial below ~256 machines/worker), 1 = serial, N = exactly N shards")
 	flag.StringVar(&cfg.tracePath, "trace", "", "utilization trace: run off-line instead of serving UDP")
 	flag.StringVar(&cfg.outPath, "out", "", "temperature log output for off-line mode (default stdout)")
 	flag.DurationVar(&cfg.sample, "sample", 10*time.Second, "off-line probe sampling interval")

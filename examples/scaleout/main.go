@@ -119,11 +119,14 @@ func main() {
 
 	fmt.Println("\nall machines track identically (ideal non-recirculating room); note the jump after t=1000s")
 
-	// How far does one solver instance scale? The stepping loop shards
-	// machines across a persistent worker pool (SolverConfig.Workers:
-	// 0 = one worker per CPU, 1 = the paper's serial loop), and the
-	// results are bit-identical either way — so the only question is
-	// wall-clock speed.
+	// How far does one solver instance scale? The stepping loop
+	// partitions machines into topology-aware shards, each owned
+	// persistently by one worker of a sense-barrier pool
+	// (SolverConfig.Workers: 0 = auto, which goes serial below ~256
+	// machines per worker — this 500-machine room stays serial on
+	// small hosts; 1 = the paper's serial loop), and the results are
+	// bit-identical either way — so the only question is wall-clock
+	// speed.
 	const bigRoom = 500
 	stepBig := func(workers int) (time.Duration, float64) {
 		room, err := mercury.DefaultCluster("big", bigRoom)

@@ -34,7 +34,7 @@ func (s *Solver) SetNodeTemperature(machine, node string, t units.Celsius) error
 		return &ErrUnknown{Kind: "node", Name: machine + "/" + node}
 	}
 	cm.temps[idx] = float64(t)
-	cm.dirty = true
+	s.markDirty(cm)
 	return nil
 }
 
@@ -55,7 +55,7 @@ func (s *Solver) PinInlet(machine string, t units.Celsius) error {
 	v := float64(t)
 	cm.inletPin = &v
 	cm.inletTemp = v
-	cm.dirty = true
+	s.markDirty(cm)
 	return nil
 }
 
@@ -69,7 +69,7 @@ func (s *Solver) UnpinInlet(machine string) error {
 		return err
 	}
 	cm.inletPin = nil
-	cm.dirty = true
+	s.markDirty(cm)
 	return nil
 }
 
@@ -101,6 +101,10 @@ func (s *Solver) SetSourceTemperature(source string, t units.Celsius) error {
 		return &ErrUnknown{Kind: "source", Name: source}
 	}
 	s.sources[i].supply = float64(t)
+	// No single machine to re-activate: the new supply reaches every
+	// downstream inlet through the next inlet sweep, which the
+	// all-quiescent fast path skips unless this records the change.
+	s.anyDirty = true
 	return nil
 }
 
@@ -141,7 +145,7 @@ func (s *Solver) SetHeatK(machine, a, b string, k units.WattsPerKelvin) error {
 		if (int(e.a) == ia && int(e.b) == ib) || (int(e.a) == ib && int(e.b) == ia) {
 			e.k = float64(k)
 			cm.refreshCoupleK()
-			cm.dirty = true
+			s.markDirty(cm)
 			return nil
 		}
 	}
@@ -189,7 +193,7 @@ func (s *Solver) SetAirFraction(machine, from, to string, f units.Fraction) erro
 		e := &cm.airEdges[i]
 		if e.From == from && e.To == to {
 			e.Fraction = f
-			cm.dirty = true
+			s.markDirty(cm)
 			return cm.recompileAirFlow()
 		}
 	}
@@ -211,7 +215,7 @@ func (s *Solver) SetFanFlow(machine string, flow units.CubicFeetPerMinute) error
 	cm.fanM3s = flow.CubicMetersPerSecond()
 	cm.nomCFM = flow
 	cm.refreshFlowCoef()
-	cm.dirty = true
+	s.markDirty(cm)
 	return nil
 }
 
@@ -249,7 +253,7 @@ func (s *Solver) SetPowerScale(machine, component string, scale units.Fraction) 
 	}
 	cm.comps[ci].powerScale = float64(scale)
 	cm.refreshDraws()
-	cm.dirty = true
+	s.markDirty(cm)
 	return nil
 }
 
@@ -268,7 +272,7 @@ func (s *Solver) SetMachinePower(machine string, on bool) error {
 		cm.on = on
 		cm.refreshFlowCoef()
 		cm.refreshDraws()
-		cm.dirty = true
+		s.markDirty(cm)
 	}
 	return nil
 }

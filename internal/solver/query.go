@@ -126,7 +126,7 @@ func (s *Solver) SetUtilization(machine string, src model.UtilSource, u units.Fr
 	if math.Float64bits(v) != math.Float64bits(cm.utilVals[pos]) {
 		cm.utilVals[pos] = v
 		cm.refreshDraws()
-		cm.dirty = true
+		s.markDirty(cm)
 	}
 	return nil
 }

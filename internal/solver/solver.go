@@ -14,11 +14,13 @@
 // temperatures and applies fiddle operations while a stepping loop
 // advances emulated time.
 //
-// Within one step, per-machine work is sharded across a persistent
-// worker pool (see Config.Workers and docs/performance.md): traversal 3
-// runs as a parallel phase over all machines, a barrier, then
-// traversals 1+2 run as a second parallel phase. Per-machine work runs
-// on the flat compiled kernel (kernel.go). Temperatures are
+// Within one step, per-machine work is partitioned into topology-aware
+// shards, each owned persistently by one worker of a sense-barrier
+// pool (see Config.Workers, pool.go, and docs/performance.md):
+// traversal 3 runs as a parallel phase over all shards, a barrier,
+// then traversals 1+2 run as a second parallel phase. StepN and Run
+// publish whole batches of ticks to the workers at once. Per-machine
+// work runs on the flat compiled kernel (kernel.go). Temperatures are
 // bit-identical for every worker count.
 package solver
 
@@ -49,11 +51,15 @@ type Config struct {
 	// outside (0, 1] rather than guessing.
 	OffFanFraction units.Fraction
 	// Workers is the number of goroutines that step machines in
-	// parallel. 0 picks one per available CPU; 1 reproduces the legacy
-	// serial loop exactly. Per-machine arithmetic is self-contained
-	// within a step, so temperatures are bit-identical for every
-	// worker count — the knob only trades synchronization overhead
-	// against parallelism. Negative values are rejected by New.
+	// parallel. 0 picks one per available CPU, but never fewer than
+	// ~256 machines per worker: small rooms fall back to the serial
+	// loop, where the barrier round-trip would cost more than the
+	// parallelism wins (pool.go's autoShardMachines documents the
+	// threshold). 1 reproduces the serial loop exactly. Per-machine
+	// arithmetic is self-contained within a step, so temperatures are
+	// bit-identical for every worker count — the knob only trades
+	// synchronization overhead against parallelism. Negative values
+	// are rejected by New.
 	Workers int
 	// ActiveSet enables quiescence-based stepping: a machine whose last
 	// executed step moved no node (max delta exactly 0) and whose
@@ -64,7 +70,8 @@ type Config struct {
 	// moment any input changes. Because only true fixed points are
 	// skipped, temperatures remain bit-identical to exhaustive
 	// stepping; mostly-idle rooms step dramatically faster (see
-	// docs/performance.md).
+	// docs/performance.md). When the whole room is quiescent the
+	// stepping goroutine does not even wake the worker shards.
 	ActiveSet bool
 }
 
@@ -103,8 +110,22 @@ type sourceState struct {
 	supply float64
 }
 
-// Solver advances a compiled cluster model through emulated time.
-type Solver struct {
+// shardDelta is one shard's maximum |dT| of the last executed step,
+// padded to a cache line: every shard owner writes its slot every
+// step, and false sharing between owners would serialize exactly the
+// stores the sharding exists to keep private.
+type shardDelta struct {
+	v float64
+	_ [56]byte
+}
+
+// solverCore holds all solver state. The public Solver is a thin
+// wrapper around a *solverCore: the pool's worker goroutines reference
+// only the core, so the wrapper's reachability tracks the *client's*
+// references alone and its finalizer can shut the workers down when
+// the client drops the solver — no explicit Close, no leaked
+// goroutines keeping the solver alive (pool.go).
+type solverCore struct {
 	mu       sync.Mutex
 	cfg      Config
 	dt       float64 // cfg.Step in seconds, fixed at New
@@ -115,24 +136,39 @@ type Solver struct {
 	now      time.Duration
 	steps    uint64
 
-	// Parallel stepping: machines are sharded into contiguous chunks
-	// once at compile time; a persistent worker pool runs the two
-	// phases of each step over the shards with a barrier in between.
-	// The phase closures are built once at New so stepping allocates
-	// nothing.
-	workers    int
-	shards     [][2]int
-	shardDelta []float64 // per-shard max |dT| of the last step
-	lastDelta  float64   // max |dT| across all machines, last step
-	pool       *workerPool
-	phaseInlet func(shard, lo, hi int)
-	phaseStep  func(shard, lo, hi int)
+	// Parallel stepping: machines are partitioned into topology-aware
+	// shards once at compile time; each shard is owned by one
+	// participant of the sense-barrier pool (pool.go). batchSteps is
+	// the size of the batch published by the current release; the
+	// caller owns shard 0 with callerSense as its barrier sense bit.
+	workers     int
+	shards      []shard
+	deltas      []shardDelta // per-shard max |dT| of the last step
+	lastDelta   float64      // max |dT| across all machines, last step
+	run         *stepRunner
+	batchSteps  int
+	callerSense int32
+
+	// anyDirty is set by every mutation that re-activates a machine
+	// (fiddle ops, utilization updates, source changes, restores) and
+	// cleared when a full batch consumes it. Together with allQuiet it
+	// gates the all-quiescent fast path in stepN: when the whole room
+	// is at a bitwise fixed point and nothing has been touched, inlet
+	// mixes cannot change, so steps reduce to energy accrual without
+	// waking any shard.
+	anyDirty bool
+	allQuiet bool
 
 	// Scratch buffers for SteadyState's dense linear system, reused
 	// under mu.
 	steadyA []float64
 	steadyB []float64
 	steadyX []float64
+}
+
+// Solver advances a compiled cluster model through emulated time.
+type Solver struct {
+	*solverCore
 }
 
 // New compiles a validated cluster into a Solver. The cluster is not
@@ -146,15 +182,16 @@ func New(c *model.Cluster, cfg Config) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Solver{
-		cfg:    cfg,
-		dt:     cfg.Step.Seconds(),
-		byName: map[string]*compiledMachine{},
-		srcIdx: map[string]int{},
+	core := &solverCore{
+		cfg:      cfg,
+		dt:       cfg.Step.Seconds(),
+		byName:   map[string]*compiledMachine{},
+		srcIdx:   map[string]int{},
+		anyDirty: true,
 	}
 	for i, src := range c.Sources {
-		s.sources = append(s.sources, &sourceState{name: src.Name, supply: float64(src.SupplyTemp)})
-		s.srcIdx[src.Name] = i
+		core.sources = append(core.sources, &sourceState{name: src.Name, supply: float64(src.SupplyTemp)})
+		core.srcIdx[src.Name] = i
 	}
 	midx := map[string]int{}
 	for i, m := range c.Machines {
@@ -162,24 +199,24 @@ func New(c *model.Cluster, cfg Config) (*Solver, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.machines = append(s.machines, cm)
-		s.byName[m.Name] = cm
+		core.machines = append(core.machines, cm)
+		core.byName[m.Name] = cm
 		midx[m.Name] = i
 	}
 	for _, e := range c.Edges {
-		cm, ok := s.byName[e.To]
+		cm, ok := core.byName[e.To]
 		if !ok {
 			continue // edge into a sink
 		}
-		if si, ok := s.srcIdx[e.From]; ok {
+		if si, ok := core.srcIdx[e.From]; ok {
 			cm.roomIn = append(cm.roomIn, roomEdge{kind: fromSource, ref: si, frac: float64(e.Fraction)})
 		} else if mi, ok := midx[e.From]; ok {
 			cm.roomIn = append(cm.roomIn, roomEdge{kind: fromMachine, ref: mi, frac: float64(e.Fraction)})
 		}
 	}
 	// Effective inlet temperatures for step 0 queries.
-	for _, cm := range s.machines {
-		cm.inletTemp = s.mixInlet(cm)
+	for _, cm := range core.machines {
+		cm.inletTemp = core.mixInlet(cm)
 		if cfg.InitialTemp != nil {
 			setAll(cm, float64(*cfg.InitialTemp))
 		} else {
@@ -187,17 +224,16 @@ func New(c *model.Cluster, cfg Config) (*Solver, error) {
 		}
 		cm.exhaustTemp = cm.temps[cm.exhaustIdx[0]]
 	}
-	s.workers = resolveWorkers(cfg.Workers)
-	s.shards = shardBounds(len(s.machines), s.workers)
-	s.shardDelta = make([]float64, len(s.shards))
-	s.phaseInlet = s.runInletPhase
-	s.phaseStep = s.runStepPhase
-	if s.workers > 1 && len(s.shards) > 1 {
-		s.pool = newWorkerPool(s.workers)
-		// The pool never references the Solver, so the workers shut
-		// down when the last Solver reference is dropped; no explicit
-		// Close is required.
-		runtime.SetFinalizer(s, func(s *Solver) { s.pool.shutdown() })
+	core.workers = resolveWorkers(cfg.Workers, len(core.machines))
+	core.shards = partitionShards(len(core.machines), core.workers, machineAdjacency(core.machines))
+	core.deltas = make([]shardDelta, len(core.shards))
+	s := &Solver{solverCore: core}
+	if len(core.shards) > 1 {
+		core.run = newStepRunner(core, len(core.shards))
+		// The workers reference only the core, so they shut down when
+		// the last *Solver* reference is dropped; no explicit Close is
+		// required.
+		runtime.SetFinalizer(s, func(s *Solver) { s.run.shutdown() })
 	}
 	return s, nil
 }
@@ -220,12 +256,22 @@ func NewSingle(m *model.Machine, cfg Config) (*Solver, error) {
 	return New(c, cfg)
 }
 
+// markDirty re-activates a machine after a mutation and records the
+// cluster-level dirt that disables stepN's all-quiescent fast path
+// until the next full batch consumes it. Every mutator that changes a
+// stepping input must come through here (or set anyDirty itself, as
+// SetSourceTemperature does for source-only changes).
+func (s *solverCore) markDirty(cm *compiledMachine) {
+	cm.dirty = true
+	s.anyDirty = true
+}
+
 // mixInlet computes a machine's effective inlet temperature from its
 // pin (if fiddled), otherwise as the fraction-weighted average of its
 // incoming room-level edges; machines contribute their previous-step
 // exhaust mix (one-step transport delay, which also makes recirculating
 // rooms well-defined).
-func (s *Solver) mixInlet(cm *compiledMachine) float64 {
+func (s *solverCore) mixInlet(cm *compiledMachine) float64 {
 	if cm.inletPin != nil {
 		return *cm.inletPin
 	}
@@ -251,16 +297,16 @@ func (s *Solver) mixInlet(cm *compiledMachine) float64 {
 func (s *Solver) Step() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stepLocked()
+	s.stepN(1)
 }
 
-// StepN advances the emulation by n steps.
+// StepN advances the emulation by n steps. The whole batch is
+// published to the worker shards with a single release, so workers
+// stay hot across every tick of the batch.
 func (s *Solver) StepN(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i := 0; i < n; i++ {
-		s.stepLocked()
-	}
+	s.stepN(n)
 }
 
 // Run advances the emulation until at least d of emulated time has
@@ -268,10 +314,12 @@ func (s *Solver) StepN(n int) {
 func (s *Solver) Run(d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	deadline := s.now + d
-	for s.now < deadline {
-		s.stepLocked()
+	if d <= 0 {
+		return
 	}
+	// ceil(d / Step) ticks reaches the deadline; one batched release.
+	n := int((d + s.cfg.Step - 1) / s.cfg.Step)
+	s.stepN(n)
 }
 
 // Now returns the emulated time elapsed since the solver started.
@@ -288,37 +336,88 @@ func (s *Solver) Steps() uint64 {
 	return s.steps
 }
 
-func (s *Solver) stepLocked() {
-	// Phase 1 — traversal 3 (inter-machine) first: fix every inlet
-	// from the previous step's exhaust mixes and the sources. Each
-	// machine writes only its own inletTemp and reads only exhaust
-	// temperatures frozen by the previous step, so shards are
-	// independent.
-	s.runPhase(s.phaseInlet)
-
-	// Phase 2 — per-machine heat and air traversals. The barrier
-	// between the phases guarantees every inlet is fixed before any
-	// exhaust is overwritten. Each shard tracks its own maximum
-	// temperature delta; the reduction below is order-independent, so
-	// steady-state detection is also deterministic across worker
-	// counts.
-	s.runPhase(s.phaseStep)
+// stepN advances the emulation by n steps with s.mu held. It is the
+// single stepping entry point: serial rooms run the phases inline,
+// sharded rooms publish the batch to the worker pool, and a fully
+// quiescent room (Config.ActiveSet) reduces to pure energy accrual
+// without waking anyone.
+func (s *solverCore) stepN(n int) {
+	if n <= 0 {
+		return
+	}
+	if s.cfg.ActiveSet && s.allQuiet && !s.anyDirty {
+		// Every machine is at a bitwise fixed point and no input —
+		// fiddle, utilization, source supply, restore — has changed,
+		// so inlet mixes recompute to identical bits and every step of
+		// the batch is quiescent (quiet machines keep their exhausts,
+		// so nothing can re-activate from inside). Only energy
+		// accrues, as the same per-step per-component additions the
+		// kernel would perform, keeping the counters bit-identical.
+		for _, cm := range s.machines {
+			for k := 0; k < n; k++ {
+				stepQuiescent(cm, s.dt)
+			}
+		}
+		s.lastDelta = 0
+		s.now += time.Duration(n) * s.cfg.Step
+		s.steps += uint64(n)
+		return
+	}
+	if s.run == nil {
+		for k := 0; k < n; k++ {
+			for sh := range s.shards {
+				s.runInletPhase(sh)
+			}
+			for sh := range s.shards {
+				s.runStepPhase(sh)
+			}
+		}
+	} else {
+		s.batchSteps = n
+		s.run.release()
+		s.runShardBatch(0, &s.callerSense)
+	}
 	var d float64
-	for _, sd := range s.shardDelta {
-		if sd > d {
-			d = sd
+	for i := range s.deltas {
+		if s.deltas[i].v > d {
+			d = s.deltas[i].v
 		}
 	}
 	s.lastDelta = d
-
-	s.now += s.cfg.Step
-	s.steps++
+	// The batch consumed all dirt: every machine either stepped (and
+	// cleared its flag) or was already clean and quiet. allQuiet notes
+	// whether the final step left the whole room at its fixed point.
+	s.anyDirty = false
+	s.allQuiet = d == 0
+	s.now += time.Duration(n) * s.cfg.Step
+	s.steps += uint64(n)
 }
 
-// runInletPhase is phase 1 over one shard. A machine whose effective
-// inlet moved (compared bitwise) is re-activated for the active set.
-func (s *Solver) runInletPhase(_, lo, hi int) {
-	for _, cm := range s.machines[lo:hi] {
+// runShardBatch executes one participant's share of a published batch:
+// batchSteps steps over its own shard, with a barrier after each phase
+// so no exhaust is overwritten before every inlet that reads it is
+// fixed, and no inlet of step k+1 is mixed before every exhaust of
+// step k is published. The caller of stepN participates as shard 0;
+// pool workers run the same loop for the remaining shards.
+func (s *solverCore) runShardBatch(sh int, sense *int32) {
+	n := s.batchSteps
+	for k := 0; k < n; k++ {
+		s.runInletPhase(sh)
+		s.run.barrier.await(sense)
+		s.runStepPhase(sh)
+		s.run.barrier.await(sense)
+	}
+}
+
+// runInletPhase is phase 1 over one shard: fix every owned machine's
+// inlet from the previous step's exhaust mixes and the sources. Each
+// machine writes only its own inletTemp and reads only exhaust
+// temperatures frozen by the previous step, so shards are independent.
+// A machine whose effective inlet moved (compared bitwise) is
+// re-activated for the active set.
+func (s *solverCore) runInletPhase(sh int) {
+	for _, mi := range s.shards[sh].idx {
+		cm := s.machines[mi]
 		in := s.mixInlet(cm)
 		if math.Float64bits(in) != math.Float64bits(cm.inletTemp) {
 			cm.inletTemp = in
@@ -327,13 +426,18 @@ func (s *Solver) runInletPhase(_, lo, hi int) {
 	}
 }
 
-// runStepPhase is phase 2 over one shard. With Config.ActiveSet, quiet
-// machines with unchanged inputs are at a bitwise fixed point and only
-// accrue energy; everything else runs the full kernel.
-func (s *Solver) runStepPhase(shard, lo, hi int) {
+// runStepPhase is phase 2 over one shard: the per-machine heat and air
+// traversals. With Config.ActiveSet, quiet machines with unchanged
+// inputs are at a bitwise fixed point and only accrue energy;
+// everything else runs the full kernel. Each shard tracks its own
+// maximum temperature delta; the reduction in stepN is
+// order-independent, so steady-state detection is deterministic across
+// worker counts.
+func (s *solverCore) runStepPhase(sh int) {
 	var d float64
 	skip := s.cfg.ActiveSet
-	for _, cm := range s.machines[lo:hi] {
+	for _, mi := range s.shards[sh].idx {
+		cm := s.machines[mi]
 		if skip && cm.quiet && !cm.dirty {
 			stepQuiescent(cm, s.dt)
 			continue
@@ -345,17 +449,5 @@ func (s *Solver) runStepPhase(shard, lo, hi int) {
 			d = md
 		}
 	}
-	s.shardDelta[shard] = d
-}
-
-// runPhase executes fn over every machine shard and waits for all of
-// them — on the worker pool when one exists, inline otherwise.
-func (s *Solver) runPhase(fn func(shard, lo, hi int)) {
-	if s.pool == nil {
-		for i, b := range s.shards {
-			fn(i, b[0], b[1])
-		}
-		return
-	}
-	s.pool.runPhase(s.shards, fn)
+	s.deltas[sh].v = d
 }

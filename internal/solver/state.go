@@ -198,6 +198,7 @@ func (s *Solver) RestoreState(st *State) error {
 		// coefficients for, so rebuild them all and re-activate the
 		// machine (kernel.go documents the invalidation rules).
 		cm.invalidate()
+		s.anyDirty = true
 	}
 	return nil
 }

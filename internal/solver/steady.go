@@ -36,7 +36,7 @@ func (s *Solver) RunUntilSteady(tol units.Celsius, maxDur time.Duration) (time.D
 	start := s.now
 	deadline := s.now + maxDur
 	for s.now < deadline {
-		s.stepLocked()
+		s.stepN(1)
 		if s.lastDelta <= float64(tol) {
 			return s.now - start, true
 		}
