@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -83,6 +84,9 @@ type runConfig struct {
 	pprofOn    bool
 	traceSpans bool
 	probes     probeList
+	regions    int
+	region     int
+	peersSpec  string
 }
 
 func main() {
@@ -107,6 +111,9 @@ func main() {
 	flag.BoolVar(&cfg.pprofOn, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
 	flag.BoolVar(&cfg.traceSpans, "trace-spans", false, "record causal spans (solver steps, utilization applies, sensor serves) and serve them at /spans on the -ctl address")
 	flag.Var(&cfg.probes, "probe", "machine/node to record off-line (repeatable)")
+	flag.IntVar(&cfg.regions, "regions", 0, "shard the room across this many cooperating solverds (0 = whole room); every shard must get the same -model and -regions")
+	flag.IntVar(&cfg.region, "region", 0, "this daemon's region index, 0..regions-1")
+	flag.StringVar(&cfg.peersSpec, "peers", "", "peer solverd addresses for sharded runs, comma-separated index=host:port (e.g. \"0=10.0.0.1:8367,2=10.0.0.3:8367\")")
 	flag.Parse()
 
 	if cfg.pprofOn && cfg.ctlAddr == "" {
@@ -174,7 +181,26 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	sol, err := solver.New(cluster, solver.Config{Step: cfg.step, Workers: cfg.workers, ActiveSet: cfg.activeSet})
+	// Sharding: every shard compiles the SAME full cluster with the
+	// SAME deterministic partition; only the region index differs
+	// between daemons, so their global machine indices agree on the
+	// wire (MsgBoundaryExchange carries indices, not names).
+	var regions [][]string
+	if cfg.regions > 1 {
+		if cfg.region < 0 || cfg.region >= cfg.regions {
+			return fmt.Errorf("-region %d outside 0..%d", cfg.region, cfg.regions-1)
+		}
+		if regions, err = solver.PartitionRegions(cluster, cfg.regions); err != nil {
+			return err
+		}
+	}
+	sol, err := solver.New(cluster, solver.Config{
+		Step:        cfg.step,
+		Workers:     cfg.workers,
+		ActiveSet:   cfg.activeSet,
+		Regions:     regions,
+		RegionIndex: cfg.region,
+	})
 	if err != nil {
 		return err
 	}
@@ -222,12 +248,25 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
+	if cfg.peersSpec != "" {
+		peers, err := parsePeers(cfg.peersSpec)
+		if err != nil {
+			return err
+		}
+		if err := srv.SetPeers(peers); err != nil {
+			return err
+		}
+	}
+	shard := ""
+	if cfg.regions > 1 {
+		shard = fmt.Sprintf(", region %d/%d", cfg.region, cfg.regions)
+	}
 	if cfg.warp > 0 {
-		fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v, warp %gx)\n",
-			len(sol.Machines()), srv.Addr(), cfg.step, cfg.warp)
+		fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v, warp %gx%s)\n",
+			len(sol.Machines()), srv.Addr(), cfg.step, cfg.warp, shard)
 	} else {
-		fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v)\n",
-			len(sol.Machines()), srv.Addr(), cfg.step)
+		fmt.Printf("mercury-solver: serving %d machine(s) on %s (step %v%s)\n",
+			len(sol.Machines()), srv.Addr(), cfg.step, shard)
 	}
 	if cfg.ctlAddr != "" {
 		ctlOpts := []ctl.Option{
@@ -271,6 +310,36 @@ func run(cfg runConfig) error {
 		defer vclk.StopWarp()
 	}
 	return srv.Serve()
+}
+
+// parsePeers parses the -peers form "index=host:port,index=host:port".
+// Entries for regions with no shared boundary are fine — SetPeers only
+// keeps the ones this shard actually exchanges exhausts with — so
+// operators can hand every daemon the identical full roster.
+func parsePeers(spec string) (map[int]string, error) {
+	peers := make(map[int]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idxStr, addr, ok := strings.Cut(part, "=")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("-peers entry %q is not index=host:port", part)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("-peers entry %q has a bad region index", part)
+		}
+		if _, dup := peers[idx]; dup {
+			return nil, fmt.Errorf("-peers lists region %d twice", idx)
+		}
+		peers[idx] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers %q lists no peers", spec)
+	}
+	return peers, nil
 }
 
 func loadCluster(modelPath string, machines int) (*model.Cluster, error) {

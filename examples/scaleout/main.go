@@ -5,6 +5,13 @@
 // air-conditioner failure is injected halfway through, and the room's
 // thermal response is computed from the log alone: no servers, no
 // sensors, no wall-clock hours.
+//
+// This scales one solver up; to scale *out*, the same room can be
+// partitioned across cooperating mercury-solver daemons that exchange
+// boundary exhausts over UDP in lockstep and stay bit-identical to the
+// single solver used here (-regions/-region/-peers, or
+// online.Config.Shards in-process; see the "Horizontal sharding"
+// section of docs/performance.md).
 package main
 
 import (

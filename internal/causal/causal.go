@@ -302,16 +302,26 @@ func (t *Tracer) Since(after uint64) []Span {
 }
 
 // Canonical returns every retained span with Seq cleared, sorted in a
-// content-derived total order. Concurrent emitters make ring order
-// nondeterministic even under the virtual clock, so this is the form
-// determinism tests compare and golden files pin.
+// content-derived total order and deduplicated by full content.
+// Concurrent emitters make ring order nondeterministic even under the
+// virtual clock, so this is the form determinism tests compare and
+// golden files pin. The dedup matters for horizontally sharded runs:
+// every region's solverd emits the same content-derived step span for
+// tick T, and collapsing those copies is exactly what makes an N-shard
+// span set bit-identical to the single-solver golden.
 func (t *Tracer) Canonical() []Span {
 	spans := t.Since(0)
 	for i := range spans {
 		spans[i].Seq = 0
 	}
 	Sort(spans)
-	return spans
+	out := spans[:0]
+	for i := range spans {
+		if i == 0 || spans[i] != spans[i-1] {
+			out = append(out, spans[i])
+		}
+	}
+	return out
 }
 
 // Sort orders spans by (Begin, Trace, Kind, Machine, Node, ID) — a

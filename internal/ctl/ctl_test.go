@@ -357,3 +357,44 @@ func TestStartAndClose(t *testing.T) {
 		t.Error("server still answering after Close")
 	}
 }
+
+// TestParseFrom pins the ?from= parser: plain decimals only, empty
+// means zero — the forms Sscanf used to let through must now fail.
+func TestParseFrom(t *testing.T) {
+	good := map[string]uint64{
+		"":                     0,
+		"0":                    0,
+		"7":                    7,
+		"18446744073709551615": 1<<64 - 1,
+	}
+	for in, want := range good {
+		got, err := parseFrom(in)
+		if err != nil || got != want {
+			t.Errorf("parseFrom(%q) = (%d, %v), want (%d, nil)", in, got, err, want)
+		}
+	}
+	bad := []string{"-1", "+2", "12abc", "0x10", " 3", "18446744073709551616", "3.5"}
+	for _, in := range bad {
+		if got, err := parseFrom(in); err == nil {
+			t.Errorf("parseFrom(%q) = %d, want error", in, got)
+		}
+	}
+}
+
+// TestEventsBadFrom checks both endpoints reject a malformed from
+// parameter with 400 instead of silently starting at zero.
+func TestEventsBadFrom(t *testing.T) {
+	s, _, _, _ := newTestServer(t)
+	ts := New(WithTracer(causal.NewTracer(16, clock.NewVirtual())))
+	for srv, path := range map[*Server]string{
+		s:  "/events?format=json&from=12abc",
+		ts: "/spans?from=-1",
+	} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		srv.mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, rec.Code)
+		}
+	}
+}

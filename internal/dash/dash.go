@@ -91,8 +91,28 @@ type TargetState struct {
 	// Metrics holds the unlabeled numeric series scraped from the
 	// target's /metrics exposition.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Shard labels a horizontally sharded solverd as "region/regions"
+	// (e.g. "1/4"), lifted from its /state document; empty for
+	// unsharded daemons.
+	Shard string `json:"shard,omitempty"`
 	// State is the target's own /state document, embedded verbatim.
 	State json.RawMessage `json:"state,omitempty"`
+}
+
+// shardLabel extracts a sharded solverd's "region/regions" label from
+// its embedded /state document ("" when the target is not a shard).
+func shardLabel(raw json.RawMessage) string {
+	if raw == nil {
+		return ""
+	}
+	var s struct {
+		Region  int `json:"region"`
+		Regions int `json:"regions"`
+	}
+	if json.Unmarshal(raw, &s) != nil || s.Regions <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Region, s.Regions)
 }
 
 // ClusterState is the aggregate /state document.
@@ -483,6 +503,7 @@ func (a *Aggregator) State() ClusterState {
 			URL:     t.URL,
 			Events:  len(a.events[t.Name]),
 			Metrics: a.metrics[t.Name],
+			Shard:   shardLabel(a.states[t.Name]),
 			State:   a.states[t.Name],
 			Error:   a.lastErr[t.Name],
 		}

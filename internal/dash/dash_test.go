@@ -178,6 +178,49 @@ func TestAggregateTwoDaemons(t *testing.T) {
 	}
 }
 
+func TestShardLabel(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want string
+	}{
+		{`{"machines":4}`, ""},
+		{`{"region":0,"regions":1}`, ""},
+		{`{"region":0,"regions":2}`, "0/2"},
+		{`{"region":3,"regions":4,"machines":16}`, "3/4"},
+		{`not json`, ""},
+	}
+	for _, c := range cases {
+		if got := shardLabel(json.RawMessage(c.raw)); got != c.want {
+			t.Errorf("shardLabel(%s) = %q, want %q", c.raw, got, c.want)
+		}
+	}
+	if got := shardLabel(nil); got != "" {
+		t.Errorf("shardLabel(nil) = %q, want empty", got)
+	}
+}
+
+// TestAggregateShardedState checks that a sharded solverd's region
+// labels surface as the target's shard label in /state.
+func TestAggregateShardedState(t *testing.T) {
+	srv := ctl.New(ctl.WithState(func() any {
+		return map[string]any{"machines": 8, "region": 1, "regions": 2}
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	a := New([]Target{{Name: "solverd1", URL: "http://" + addr}}, nil)
+	if err := a.PollOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cs := a.State()
+	if len(cs.Targets) != 1 || cs.Targets[0].Shard != "1/2" {
+		t.Fatalf("shard label = %+v, want 1/2", cs.Targets)
+	}
+}
+
 func TestStreamSSE(t *testing.T) {
 	targets, logA, logB, _, clk := twoDaemons(t)
 

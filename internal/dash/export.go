@@ -45,8 +45,10 @@ func (a *Aggregator) WriteChromeTrace(w io.Writer) error {
 		spans = append(spans, s)
 	}
 	events := map[string][]telemetry.Event{}
+	shards := map[string]string{}
 	for _, t := range a.targets {
 		events[t.Name] = append([]telemetry.Event(nil), a.events[t.Name]...)
+		shards[t.Name] = shardLabel(a.states[t.Name])
 	}
 	a.mu.Unlock()
 
@@ -56,9 +58,15 @@ func (a *Aggregator) WriteChromeTrace(w io.Writer) error {
 	var out chromeTrace
 	for i, t := range a.targets {
 		pids[t.Name] = i + 1
+		// Sharded solverds get their region in the process label, so a
+		// scale-out run reads as "solverd0 [shard 0/4]" … in Perfetto.
+		name := t.Name
+		if s := shards[t.Name]; s != "" {
+			name += " [shard " + s + "]"
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: i + 1,
-			Args: map[string]any{"name": t.Name},
+			Args: map[string]any{"name": name},
 		})
 	}
 

@@ -26,6 +26,7 @@ import (
 type Daemon struct {
 	machine  string
 	sampler  procfs.Sampler
+	batch    []BatchMachine
 	client   *udprpc.Client
 	interval time.Duration
 	clk      clock.Clock
@@ -41,14 +42,29 @@ type Daemon struct {
 	lastUtil map[model.UtilSource]float64
 }
 
+// BatchMachine is one machine of a batched daemon: its model name and
+// the sampler providing its utilizations.
+type BatchMachine struct {
+	Machine string
+	Sampler procfs.Sampler
+}
+
 // Config configures a Daemon.
 type Config struct {
 	// Machine is the name this daemon reports as; it must match a
-	// machine in the solver's model.
+	// machine in the solver's model. In batch mode it is only a label
+	// for metrics and tracing (e.g. "rack1").
 	Machine string
 	// Sampler provides the utilizations (procfs.New for a live Linux
-	// host, procfs.NewSynthetic for emulation).
+	// host, procfs.NewSynthetic for emulation). Unused in batch mode.
 	Sampler procfs.Sampler
+	// Batch, when non-empty, makes the daemon report for many machines
+	// at once — one of it per rack or shard instead of one daemon per
+	// machine. Each interval it samples every entry and sends the lot
+	// as MsgUtilBatch datagrams (MaxBatchMachines per datagram), one
+	// shared sequence number across the batch: ~16x fewer datagrams
+	// and system calls than the per-machine fan-out.
+	Batch []BatchMachine
 	// SolverAddr is the solver daemon's UDP address.
 	SolverAddr string
 	// Interval between updates; default 1s, the paper's "tunable
@@ -71,8 +87,13 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Machine == "" {
 		return nil, fmt.Errorf("monitord: machine name required")
 	}
-	if cfg.Sampler == nil {
+	if cfg.Sampler == nil && len(cfg.Batch) == 0 {
 		return nil, fmt.Errorf("monitord: sampler required")
+	}
+	for _, bm := range cfg.Batch {
+		if bm.Machine == "" || bm.Sampler == nil {
+			return nil, fmt.Errorf("monitord: batch entries need a machine name and a sampler")
+		}
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
@@ -87,6 +108,7 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		machine:  cfg.Machine,
 		sampler:  cfg.Sampler,
+		batch:    cfg.Batch,
 		client:   client,
 		interval: cfg.Interval,
 		clk:      cfg.Clock,
@@ -106,11 +128,77 @@ func New(cfg Config) (*Daemon, error) {
 	return d, nil
 }
 
-// SampleOnce takes one sample and sends one update datagram. With a
-// tracer attached, each sample roots a fresh trace: the sample span's
-// context rides in the datagram so the solver's apply (and anything
-// it causes) links back here.
+// SampleOnce takes one sample and sends one update datagram (or, in
+// batch mode, samples every batch machine and sends the batched
+// datagrams). With a tracer attached, each sample roots a fresh trace:
+// the sample span's context rides in the datagram so the solver's
+// apply (and anything it causes) links back here.
 func (d *Daemon) SampleOnce() error {
+	if len(d.batch) > 0 {
+		return d.sampleBatch()
+	}
+	return d.sampleSingle()
+}
+
+// sampleBatch samples every batch machine and ships the reports as
+// MsgUtilBatch datagrams, MaxBatchMachines per datagram, all sharing
+// one sequence number. One sample span covers the whole batch.
+func (d *Daemon) sampleBatch() error {
+	var begin time.Duration
+	if d.tracer != nil {
+		begin = d.tracer.Now()
+	}
+	d.mu.Lock()
+	d.seq++
+	seq := d.seq
+	d.mu.Unlock()
+	b := &wire.UtilBatch{Reports: make([]wire.UtilReport, 0, len(d.batch))}
+	for _, bm := range d.batch {
+		utils, err := bm.Sampler.Sample()
+		if err != nil {
+			d.errs.Add(1)
+			return fmt.Errorf("monitord: sample %s: %w", bm.Machine, err)
+		}
+		r := wire.UtilReport{Machine: bm.Machine, Seq: seq}
+		for src, v := range utils {
+			r.Entries = append(r.Entries, wire.UtilEntry{Source: src, Util: v})
+		}
+		b.Reports = append(b.Reports, r)
+	}
+	if d.tracer != nil {
+		span := causal.Span{
+			Trace:   d.tracer.NewTrace(d.machine),
+			Kind:    causal.KindSample,
+			Begin:   begin,
+			Machine: d.machine,
+		}
+		span.ID = causal.SpanID(&span)
+		b.Trace = wire.TraceContext{Trace: span.Trace, Span: span.ID}
+		defer func() {
+			span.End = d.tracer.Now()
+			d.tracer.Emit(span)
+		}()
+	}
+	for off := 0; off < len(b.Reports); off += wire.MaxBatchMachines {
+		end := off + wire.MaxBatchMachines
+		if end > len(b.Reports) {
+			end = len(b.Reports)
+		}
+		buf, err := wire.MarshalUtilBatch(&wire.UtilBatch{Reports: b.Reports[off:end], Trace: b.Trace})
+		if err != nil {
+			d.errs.Add(1)
+			return fmt.Errorf("monitord: %w", err)
+		}
+		if err := d.client.Send(buf); err != nil {
+			d.errs.Add(1)
+			return fmt.Errorf("monitord: %w", err)
+		}
+	}
+	d.sent.Add(1)
+	return nil
+}
+
+func (d *Daemon) sampleSingle() error {
 	var begin time.Duration
 	if d.tracer != nil {
 		begin = d.tracer.Now()

@@ -39,6 +39,7 @@ import (
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 	"github.com/darklab/mercury/internal/webcluster"
+	"github.com/darklab/mercury/internal/wire"
 	"github.com/darklab/mercury/internal/workload"
 )
 
@@ -79,6 +80,25 @@ type Config struct {
 	// control plane). Off by default — the hot paths then carry no
 	// tracing cost beyond a nil check.
 	Trace bool
+	// Shards partitions the cluster by region across this many
+	// cooperating solverd daemons, each stepping only its machines and
+	// exchanging boundary exhausts over loopback UDP in lockstep.
+	// Utilization updates, sensor reads, and machine-targeted fiddle
+	// ops are routed to the owning shard; source setpoints are
+	// broadcast to every shard. A sharded run is bit-identical to the
+	// single-daemon run — temperatures, events, and canonical spans.
+	// Default (0 or 1) is the classic single solverd.
+	Shards int
+	// Workers is each solver's worker-pool size (solver.Config.Workers;
+	// 0 = one worker per core, capped by machine count).
+	Workers int
+	// Batch groups each shard's machines into MsgUtilBatch datagrams —
+	// one batched monitord per shard in place of one daemon per machine
+	// (~16x fewer datagrams). Temperatures and events are unchanged;
+	// the span SHAPE differs from per-machine monitords (one sample
+	// span per shard instead of per machine), so the trace goldens pin
+	// the default unbatched path.
+	Batch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = 10 * time.Second
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -117,13 +140,19 @@ type Result struct {
 	// ServersShutDown counts red-line shutdowns (0 in Figure 11).
 	ServersShutDown int
 
-	// Daemon-side counters, for sanity checks.
+	// Daemon-side counters, for sanity checks. In sharded runs
+	// SolverSteps is shard 0's count (every shard steps in lockstep);
+	// the traffic counters are summed across shards.
 	SolverSteps uint64
 	MissedTicks uint64
 	UtilUpdates uint64
 	SensorReads uint64
 	FreonPolls  uint64
 	FreonPeriod uint64
+	// UtilBatches counts batched utilization datagrams (Config.Batch),
+	// BoundaryExchanges the boundary datagrams staged between shards.
+	UtilBatches       uint64
+	BoundaryExchanges uint64
 
 	// Events is the run's thermal event log, oldest first. Stamped
 	// from the shared virtual clock, it is bit-identical across runs
@@ -156,26 +185,94 @@ func Run(cfg Config) (*Result, error) {
 		tracer = causal.NewTracer(1<<15, clk)
 	}
 
-	// Thermal model + solver behind the UDP daemon.
+	// Thermal model + solvers behind the UDP daemons: one solverd owns
+	// the whole room, or cfg.Shards of them each own one region of it.
+	// Every shard compiles the full cluster, so global machine indices
+	// and initial temperatures agree across daemons.
 	cm, err := model.DefaultCluster("room", cfg.Machines)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := solver.New(cm, solver.Config{Workers: 0})
-	if err != nil {
-		return nil, err
+	var regions [][]string
+	if cfg.Shards > 1 {
+		if regions, err = solver.PartitionRegions(cm, cfg.Shards); err != nil {
+			return nil, err
+		}
 	}
-	solverOpts := []solverd.Option{solverd.WithClock(clk), solverd.WithTelemetry(reg, events)}
-	if tracer != nil {
-		solverOpts = append(solverOpts, solverd.WithTracer(tracer))
+	servers := make([]*solverd.Server, cfg.Shards)
+	for i := range servers {
+		sol, err := solver.New(cm, solver.Config{
+			Workers:     cfg.Workers,
+			Regions:     regions,
+			RegionIndex: i,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// One registry: metric names are unique per registry, so only
+		// shard 0 exports solver metrics. The event log and tracer are
+		// shared — their records are keyed by content, not by daemon.
+		solverOpts := []solverd.Option{solverd.WithClock(clk)}
+		if i == 0 {
+			solverOpts = append(solverOpts, solverd.WithTelemetry(reg, events))
+		} else {
+			solverOpts = append(solverOpts, solverd.WithTelemetry(nil, events))
+		}
+		if tracer != nil {
+			solverOpts = append(solverOpts, solverd.WithTracer(tracer))
+		}
+		if servers[i], err = solverd.Listen("127.0.0.1:0", sol, solverOpts...); err != nil {
+			return nil, err
+		}
+		defer servers[i].Close()
 	}
-	srv, err := solverd.Listen("127.0.0.1:0", sol, solverOpts...)
-	if err != nil {
-		return nil, err
+	if cfg.Shards > 1 {
+		addrs := make(map[int]string, cfg.Shards)
+		for i, s := range servers {
+			addrs[i] = s.Addr().String()
+		}
+		for _, s := range servers {
+			if err := s.SetPeers(addrs); err != nil {
+				return nil, err
+			}
+		}
 	}
-	go srv.Serve()
-	defer srv.Close()
-	addr := srv.Addr().String()
+	for _, s := range servers {
+		go s.Serve()
+	}
+	srv := servers[0]
+
+	// ownerOf routes a machine to the shard that steps it; with one
+	// shard everything routes to it.
+	ownerOf := func(machine string) (*solverd.Server, error) {
+		if cfg.Shards == 1 {
+			return srv, nil
+		}
+		r, err := srv.Solver().MachineRegion(machine)
+		if err != nil {
+			return nil, err
+		}
+		return servers[r], nil
+	}
+
+	// applyFiddle routes a fiddle op like the UDP path does: source
+	// setpoints are global state every shard must apply; everything
+	// else targets one machine and goes to its owner.
+	applyFiddle := func(op *wire.FiddleOp) error {
+		if op.Op == wire.OpSetSourceTemp || len(op.Strings) == 0 {
+			for _, s := range servers {
+				if err := s.ApplyFiddle(op); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		s, err := ownerOf(op.Strings[0])
+		if err != nil {
+			return err
+		}
+		return s.ApplyFiddle(op)
+	}
 
 	ctlAddr := ""
 	if cfg.CtlAddr != "" {
@@ -183,7 +280,7 @@ func Run(cfg Config) (*Result, error) {
 			ctl.WithRegistry(reg),
 			ctl.WithEvents(events),
 			ctl.WithState(func() any { return srv.State() }),
-			ctl.WithFiddle(srv.ApplyFiddle),
+			ctl.WithFiddle(applyFiddle),
 		}
 		if tracer != nil {
 			ctlOpts = append(ctlOpts, ctl.WithTracer(tracer))
@@ -226,32 +323,80 @@ func Run(cfg Config) (*Result, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	// One monitord per machine, each sampling a synthetic procfs that
-	// the harness refreshes from the cluster's per-tick utilizations.
+	// shardNames[i] is the machines shard i owns (everything, for a
+	// single shard), in cluster order — the per-shard utilization
+	// arithmetic below counts against these.
+	shardNames := [][]string{names}
+	if cfg.Shards > 1 {
+		shardNames = regions
+	}
+
+	// Monitords, each sampling a synthetic procfs that the harness
+	// refreshes from the cluster's per-tick utilizations: one daemon
+	// per machine reporting to the machine's owner shard, or — with
+	// Batch — one daemon per shard reporting all its machines in one
+	// MsgUtilBatch datagram.
 	synths := make(map[string]*procfs.Synthetic, cfg.Machines)
 	for _, m := range names {
-		synth := procfs.NewSynthetic(model.UtilCPU, model.UtilDisk)
-		synths[m] = synth
-		d, err := monitord.New(monitord.Config{
-			Machine:    m,
-			Sampler:    synth,
-			SolverAddr: addr,
-			Interval:   time.Second,
-			Clock:      clk,
-			Tracer:     tracer,
-		})
-		if err != nil {
-			return nil, err
+		synths[m] = procfs.NewSynthetic(model.UtilCPU, model.UtilDisk)
+	}
+	var mons []*monitord.Daemon
+	defer func() {
+		for _, d := range mons {
+			d.Close()
 		}
-		defer d.Close()
+	}()
+	startMonitord := func(mc monitord.Config) error {
+		mc.Interval = time.Second
+		mc.Clock = clk
+		mc.Tracer = tracer
+		d, err := monitord.New(mc)
+		if err != nil {
+			return err
+		}
+		mons = append(mons, d)
 		ready := make(chan struct{})
 		go d.RunReady(ctx, ready)
 		<-ready
+		return nil
+	}
+	if cfg.Batch {
+		for i, s := range servers {
+			batch := make([]monitord.BatchMachine, len(shardNames[i]))
+			for j, m := range shardNames[i] {
+				batch[j] = monitord.BatchMachine{Machine: m, Sampler: synths[m]}
+			}
+			if err := startMonitord(monitord.Config{
+				Machine:    fmt.Sprintf("shard%d", i),
+				Batch:      batch,
+				SolverAddr: s.Addr().String(),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, m := range names {
+			owner, err := ownerOf(m)
+			if err != nil {
+				return nil, err
+			}
+			if err := startMonitord(monitord.Config{
+				Machine:    m,
+				Sampler:    synths[m],
+				SolverAddr: owner.Addr().String(),
+			}); err != nil {
+				return nil, err
+			}
+		}
 	}
 
-	// Phase 0.25: the solver's stepping ticker.
+	// Phase 0.25: every shard's stepping ticker. They all fire on the
+	// same virtual instant; the boundary barrier (solverd.SetPeers)
+	// sequences their data exchange within the instant.
 	clk.Advance(250 * time.Millisecond)
-	srv.StartTicker()
+	for _, s := range servers {
+		s.StartTicker()
+	}
 	clk.Advance(250 * time.Millisecond)
 
 	// Phase 0.5: Freon, reading temperatures through the emulated
@@ -268,9 +413,13 @@ func Run(cfg Config) (*Result, error) {
 		nodes[comp.Node] = true
 	}
 	for _, m := range names {
+		owner, err := ownerOf(m)
+		if err != nil {
+			return nil, err
+		}
 		sens.sensors[m] = map[string]*sensor.Sensor{}
 		for node := range nodes {
-			s, err := sensor.OpenOptions(addr, m, node, sensor.Options{Clock: clk})
+			s, err := sensor.OpenOptions(owner.Addr().String(), m, node, sensor.Options{Clock: clk})
 			if err != nil {
 				return nil, err
 			}
@@ -279,14 +428,36 @@ func Run(cfg Config) (*Result, error) {
 			sens.sensors[m][node] = s
 		}
 	}
-	fc, err := fiddle.DialClock(addr, 0, 0, clk)
-	if err != nil {
-		return nil, err
+	// One fiddle client per shard; ops route like the server-side
+	// applyFiddle above (owner for machine ops, broadcast for sources).
+	fcs := make([]*fiddle.Client, cfg.Shards)
+	for i, s := range servers {
+		if fcs[i], err = fiddle.DialClock(s.Addr().String(), 0, 0, clk); err != nil {
+			return nil, err
+		}
+		defer fcs[i].Close()
 	}
-	defer fc.Close()
+	routeOp := func(op *wire.FiddleOp) error {
+		if op.Op == wire.OpSetSourceTemp || len(op.Strings) == 0 {
+			for _, c := range fcs {
+				if err := c.Apply(op); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if cfg.Shards == 1 {
+			return fcs[0].Apply(op)
+		}
+		r, err := srv.Solver().MachineRegion(op.Strings[0])
+		if err != nil {
+			return err
+		}
+		return fcs[r].Apply(op)
+	}
 	cfg.Freon.Events = events
 	cfg.Freon.Tracer = tracer
-	fr, err := freon.New(names, sens, bal, power{wc: wc, fc: fc}, cfg.Freon)
+	fr, err := freon.New(names, sens, bal, power{wc: wc, apply: routeOp}, cfg.Freon)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +480,7 @@ func Run(cfg Config) (*Result, error) {
 		// before any daemon has observed the second.
 		now := time.Duration(sec) * time.Second
 		for opIdx < len(ops) && ops[opIdx].At <= now {
-			if err := fc.Apply(ops[opIdx].Op); err != nil {
+			if err := routeOp(ops[opIdx].Op); err != nil {
 				return nil, fmt.Errorf("online: fiddle at %v: %w", now, err)
 			}
 			opIdx++
@@ -331,20 +502,32 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		// t -> sec+1.0: monitord reports the second's utilizations.
+		// t -> sec+1.0: monitord reports the second's utilizations —
+		// every shard must have applied its own machines' reports.
 		clk.Advance(500 * time.Millisecond)
-		wantUtil := uint64(cfg.Machines * (sec + 1))
 		if err := waitFor(sec, "utilization updates", runnerDone, func() bool {
-			return srv.Stats().UtilUpdates.Load() >= wantUtil
+			for i, s := range servers {
+				if s.Stats().UtilUpdates.Load() < uint64(len(shardNames[i])*(sec+1)) {
+					return false
+				}
+			}
+			return true
 		}); err != nil {
 			return nil, err
 		}
 
-		// t -> sec+1.25: the solver consumes them and steps.
+		// t -> sec+1.25: every shard consumes them and steps in
+		// lockstep (the boundary barrier holds back any shard whose
+		// peers' previous-tick exhausts are still in flight).
 		clk.Advance(250 * time.Millisecond)
 		wantSteps := uint64(sec + 1)
 		if err := waitFor(sec, "solver step", runnerDone, func() bool {
-			return srv.Stats().SolverSteps.Load() >= wantSteps
+			for _, s := range servers {
+				if s.Stats().SolverSteps.Load() < wantSteps {
+					return false
+				}
+			}
+			return true
 		}); err != nil {
 			return nil, err
 		}
@@ -384,9 +567,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.ServersShutDown = fr.OfflineCount()
 	res.SolverSteps = srv.Stats().SolverSteps.Load()
-	res.MissedTicks = srv.Stats().MissedTicks.Load()
-	res.UtilUpdates = srv.Stats().UtilUpdates.Load()
-	res.SensorReads = srv.Stats().SensorReads.Load()
+	for _, s := range servers {
+		res.MissedTicks += s.Stats().MissedTicks.Load()
+		res.UtilUpdates += s.Stats().UtilUpdates.Load()
+		res.SensorReads += s.Stats().SensorReads.Load()
+		res.UtilBatches += s.Stats().UtilBatches.Load()
+		res.BoundaryExchanges += s.Stats().BoundaryIn.Load()
+	}
 	res.FreonPolls = runner.Polls()
 	res.FreonPeriod = runner.Periods()
 	res.Events = events.Since(0)
@@ -453,15 +640,19 @@ func (u udpSensors) TemperatureCtx(tc causal.Context, machine, node string) (uni
 
 // power switches a machine off in the emulated web cluster directly
 // (admd runs beside LVS) and in the thermal model through the fiddle
-// protocol.
+// protocol, routed to the machine's owner shard.
 type power struct {
-	wc *webcluster.Cluster
-	fc *fiddle.Client
+	wc    *webcluster.Cluster
+	apply func(*wire.FiddleOp) error
 }
 
 func (p power) SetPower(machine string, on bool) error {
 	if err := p.wc.SetPower(machine, on); err != nil {
 		return err
 	}
-	return p.fc.SetMachinePower(machine, on)
+	v := 0.0
+	if on {
+		v = 1
+	}
+	return p.apply(&wire.FiddleOp{Op: wire.OpSetMachinePower, Strings: []string{machine}, Floats: []float64{v}})
 }

@@ -2,6 +2,7 @@ package online_test
 
 import (
 	"flag"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -404,6 +405,143 @@ func TestOnlineFig11TraceGolden(t *testing.T) {
 	}
 	if complete == 0 {
 		t.Errorf("no trace links emergency onset through a PD output and an actuation to recovery; traces = %d", len(byTrace))
+	}
+}
+
+// TestOnlineShardedMatchesSim is the horizontal-sharding invariant at
+// the harness level: the same emergency run across {1,2,4} solverd
+// shards and {1, auto} solver workers over loopback UDP must be
+// bit-identical — every sampled temperature, the thermal event log,
+// and the canonical span set — to the single-daemon baseline, which
+// the existing Fig-11 tests tie to the in-process Sim. The script
+// includes an AC setpoint change, the fiddle op that crosses every
+// shard boundary (sources are global, so the harness broadcasts it).
+func TestOnlineShardedMatchesSim(t *testing.T) {
+	script := "#!/bin/bash\n" +
+		"sleep 60\n" +
+		"fiddle machine1 temperature inlet 38.6\n" +
+		"fiddle machine3 temperature inlet 35.6\n" +
+		"sleep 60\n" +
+		"fiddle source ac temperature 23.5\n"
+	base := online.Config{
+		Duration: 300 * time.Second,
+		Script:   script,
+		Trace:    true,
+		Shards:   1,
+		Workers:  1,
+	}
+	want, err := online.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Samples) == 0 || len(want.Events) == 0 || len(want.Spans) == 0 {
+		t.Fatalf("baseline run is degenerate: %d samples, %d events, %d spans",
+			len(want.Samples), len(want.Events), len(want.Spans))
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 0} {
+			if shards == 1 && workers == 1 {
+				continue // the baseline itself
+			}
+			t.Run(fmt.Sprintf("shards=%d_workers=%d", shards, workers), func(t *testing.T) {
+				cfg := base
+				cfg.Shards = shards
+				cfg.Workers = workers
+				got, err := online.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Samples) != len(want.Samples) {
+					t.Fatalf("sample counts differ: %d vs %d", len(got.Samples), len(want.Samples))
+				}
+				for i := range want.Samples {
+					for j := range want.Samples[i].Temps {
+						if got.Samples[i].Temps[j] != want.Samples[i].Temps[j] {
+							t.Fatalf("sample %d machine %s: sharded %v != baseline %v",
+								i, want.Machines[j], got.Samples[i].Temps[j], want.Samples[i].Temps[j])
+						}
+					}
+				}
+				if got.Totals != want.Totals {
+					t.Errorf("totals differ: %+v vs %+v", got.Totals, want.Totals)
+				}
+				for m, n := range want.Adjustments {
+					if got.Adjustments[m] != n {
+						t.Errorf("%s adjustments: sharded %d, baseline %d", m, got.Adjustments[m], n)
+					}
+				}
+				if len(got.Events) != len(want.Events) {
+					t.Fatalf("event counts differ: %d vs %d", len(got.Events), len(want.Events))
+				}
+				for i := range want.Events {
+					if got.Events[i] != want.Events[i] {
+						t.Fatalf("event %d differs:\n  sharded:  %s\n  baseline: %s",
+							i, got.Events[i], want.Events[i])
+					}
+				}
+				if len(got.Spans) != len(want.Spans) {
+					t.Fatalf("span counts differ: %d vs %d", len(got.Spans), len(want.Spans))
+				}
+				for i := range want.Spans {
+					if got.Spans[i] != want.Spans[i] {
+						t.Fatalf("span %d differs:\n  sharded:  %s\n  baseline: %s",
+							i, got.Spans[i], want.Spans[i])
+					}
+				}
+				if got.SolverSteps != want.SolverSteps {
+					t.Errorf("solver steps: sharded %d, baseline %d", got.SolverSteps, want.SolverSteps)
+				}
+				// Every shard applied exactly its own machines' updates.
+				if got.UtilUpdates != want.UtilUpdates {
+					t.Errorf("util updates: sharded %d, baseline %d", got.UtilUpdates, want.UtilUpdates)
+				}
+			})
+		}
+	}
+}
+
+// TestOnlineBatchedMonitord runs the batched-monitord variant: one
+// MsgUtilBatch daemon per shard instead of one monitord per machine.
+// Temperatures and events must stay bit-identical to the per-machine
+// baseline (spans are not compared — batching legitimately collapses
+// the per-machine sample spans into one per shard).
+func TestOnlineBatchedMonitord(t *testing.T) {
+	script := "#!/bin/bash\nsleep 60\nfiddle machine1 temperature inlet 38.6\n"
+	base := online.Config{Duration: 200 * time.Second, Script: script, Shards: 2}
+	want, err := online.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Batch = true
+	got, err := online.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UtilBatches == 0 {
+		t.Fatal("batch mode ran without sending any MsgUtilBatch datagrams")
+	}
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(got.Samples), len(want.Samples))
+	}
+	for i := range want.Samples {
+		for j := range want.Samples[i].Temps {
+			if got.Samples[i].Temps[j] != want.Samples[i].Temps[j] {
+				t.Fatalf("sample %d machine %d: batched %v != per-machine %v",
+					i, j, got.Samples[i].Temps[j], want.Samples[i].Temps[j])
+			}
+		}
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(got.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d differs:\n  batched:     %s\n  per-machine: %s", i, got.Events[i], want.Events[i])
+		}
+	}
+	if got.UtilUpdates != want.UtilUpdates {
+		t.Errorf("util updates: batched %d, per-machine %d", got.UtilUpdates, want.UtilUpdates)
 	}
 }
 

@@ -129,6 +129,13 @@ type compiledMachine struct {
 
 	roomIn []roomEdge
 
+	// Region ownership (region.go): a remote machine belongs to another
+	// instance of a partitioned cluster and never steps here — it is an
+	// exhaust placeholder refreshed by ImportBoundaryTemps. Both fields
+	// stay zero when the cluster is unpartitioned.
+	region int32
+	remote bool
+
 	energy float64 // cumulative joules drawn since start
 	// airEdges mirrors the model air edges so fractions can be fiddled
 	// and flows recompiled.

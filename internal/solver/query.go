@@ -23,15 +23,21 @@ func (s *Solver) machine(name string) (*compiledMachine, error) {
 	if !ok {
 		return nil, &ErrUnknown{Kind: "machine", Name: name}
 	}
+	if cm.remote {
+		// Partitioned cluster (Config.Regions): only the owning region's
+		// instance may read or fiddle this machine.
+		return nil, &ErrRemoteMachine{Machine: name, Region: int(cm.region)}
+	}
 	return cm, nil
 }
 
-// Machines returns the machine names in compilation order.
+// Machines returns the owned machine names in compilation order (all
+// machines unless the cluster is partitioned by Config.Regions).
 func (s *Solver) Machines() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	names := make([]string, len(s.machines))
-	for i, cm := range s.machines {
+	names := make([]string, len(s.owned))
+	for i, cm := range s.owned {
 		names[i] = cm.name
 	}
 	return names
@@ -175,12 +181,13 @@ func (s *Solver) Energy(machine string) (units.Joules, error) {
 	return units.Joules(cm.energy), nil
 }
 
-// TotalEnergy returns the cluster-wide cumulative energy drawn.
+// TotalEnergy returns the cumulative energy drawn by the owned
+// machines (the whole cluster unless partitioned by Config.Regions).
 func (s *Solver) TotalEnergy() units.Joules {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var e float64
-	for _, cm := range s.machines {
+	for _, cm := range s.owned {
 		e += cm.energy
 	}
 	return units.Joules(e)
@@ -207,7 +214,7 @@ func (s *Solver) StepSize() time.Duration { return s.cfg.Step }
 func (s *Solver) Probes() (machines, nodes []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, cm := range s.machines {
+	for _, cm := range s.owned {
 		for _, name := range cm.names {
 			machines = append(machines, cm.name)
 			nodes = append(nodes, name)
@@ -224,7 +231,7 @@ func (s *Solver) ReadAllTemps(dst []float64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	k := 0
-	for _, cm := range s.machines {
+	for _, cm := range s.owned {
 		if k+len(cm.temps) > len(dst) {
 			n := copy(dst[k:], cm.temps)
 			return k + n
@@ -240,8 +247,8 @@ func (s *Solver) ReadAllTemps(dst []float64) int {
 func (s *Solver) Snapshot() map[string]map[string]units.Celsius {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]map[string]units.Celsius, len(s.machines))
-	for _, cm := range s.machines {
+	out := make(map[string]map[string]units.Celsius, len(s.owned))
+	for _, cm := range s.owned {
 		mt := make(map[string]units.Celsius, len(cm.names))
 		for i, name := range cm.names {
 			mt[name] = units.Celsius(cm.temps[i])

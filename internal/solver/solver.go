@@ -61,6 +61,19 @@ type Config struct {
 	// synchronization overhead against parallelism. Negative values
 	// are rejected by New.
 	Workers int
+	// Regions partitions the cluster's machines by name across
+	// cooperating solver instances (horizontal sharding; see region.go
+	// and docs/performance.md). Every instance is given the SAME full
+	// cluster and the SAME Regions slice — global machine indices must
+	// agree — and steps only the region selected by RegionIndex;
+	// machines of other regions are exhaust placeholders refreshed
+	// through the boundary exchange each tick. Every region must list
+	// only existing machines and every machine must appear in exactly
+	// one region (PartitionRegions builds such a cover along
+	// recirculation components). Empty means unpartitioned.
+	Regions [][]string
+	// RegionIndex selects this instance's region in Regions.
+	RegionIndex int
 	// ActiveSet enables quiescence-based stepping: a machine whose last
 	// executed step moved no node (max delta exactly 0) and whose
 	// inputs — effective inlet, utilizations, fiddled constants, power
@@ -149,6 +162,13 @@ type solverCore struct {
 	batchSteps  int
 	callerSense int32
 
+	// Region partitioning (region.go): owned is the subset of machines
+	// this instance steps and reports (an alias of machines when
+	// unpartitioned), and region carries ownership plus the boundary
+	// sets exchanged with peer instances.
+	owned  []*compiledMachine
+	region regionState
+
 	// anyDirty is set by every mutation that re-activates a machine
 	// (fiddle ops, utilization updates, source changes, restores) and
 	// cleared when a full batch consumes it. Together with allQuiet it
@@ -224,8 +244,15 @@ func New(c *model.Cluster, cfg Config) (*Solver, error) {
 		}
 		cm.exhaustTemp = cm.temps[cm.exhaustIdx[0]]
 	}
-	core.workers = resolveWorkers(cfg.Workers, len(core.machines))
-	core.shards = partitionShards(len(core.machines), core.workers, machineAdjacency(core.machines))
+	if err := core.compileRegions(midx); err != nil {
+		return nil, err
+	}
+	core.workers = resolveWorkers(cfg.Workers, len(core.owned))
+	if core.region.count == 0 {
+		core.shards = partitionShards(len(core.machines), core.workers, machineAdjacency(core.machines))
+	} else {
+		core.shards = core.partitionOwnedShards()
+	}
 	core.deltas = make([]shardDelta, len(core.shards))
 	s := &Solver{solverCore: core}
 	if len(core.shards) > 1 {
@@ -353,7 +380,7 @@ func (s *solverCore) stepN(n int) {
 		// so nothing can re-activate from inside). Only energy
 		// accrues, as the same per-step per-component additions the
 		// kernel would perform, keeping the counters bit-identical.
-		for _, cm := range s.machines {
+		for _, cm := range s.owned {
 			for k := 0; k < n; k++ {
 				stepQuiescent(cm, s.dt)
 			}

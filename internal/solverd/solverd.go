@@ -38,6 +38,16 @@ type Stats struct {
 	// made up by a catch-up step, so SolverSteps still tracks elapsed
 	// clock time.
 	MissedTicks atomic.Uint64
+	// UtilBatches counts batched utilization datagrams; the individual
+	// machine reports inside them are counted in UtilUpdates.
+	UtilBatches atomic.Uint64
+	// BoundaryOut / BoundaryIn count boundary exchange datagrams sent
+	// to and staged from peer regions (sharded runs only).
+	BoundaryOut atomic.Uint64
+	BoundaryIn  atomic.Uint64
+	// BoundaryMissed counts barrier waits abandoned at the deadline;
+	// any nonzero value means the run lost lockstep bit-identity.
+	BoundaryMissed atomic.Uint64
 }
 
 // Server is a running solver daemon.
@@ -57,6 +67,12 @@ type Server struct {
 	fillFn      func([]float64) int
 	sampleEvery uint64
 	tempCap     int
+
+	// Boundary exchange with peer regions (nil unless SetPeers);
+	// exportBuf is scratch for ExportBoundary, touched only by the
+	// stepping ticker.
+	peers     *boundaryState
+	exportBuf []float64
 
 	mu      sync.Mutex
 	lastSeq map[string]uint32
@@ -151,6 +167,10 @@ func (s *Server) registerMetrics() {
 	cf("mercury_solver_fiddle_ops_total", "fiddle operations received", &s.stats.FiddleOps)
 	cf("mercury_solver_list_requests_total", "list requests served", &s.stats.ListRequests)
 	cf("mercury_solver_malformed_total", "malformed or unknown datagrams", &s.stats.Malformed)
+	cf("mercury_solver_util_batches_total", "batched utilization datagrams applied", &s.stats.UtilBatches)
+	cf("mercury_solver_boundary_out_total", "boundary exchange datagrams sent to peer regions", &s.stats.BoundaryOut)
+	cf("mercury_solver_boundary_in_total", "boundary exchange datagrams staged from peer regions", &s.stats.BoundaryIn)
+	cf("mercury_solver_boundary_missed_total", "boundary barrier waits abandoned at the deadline", &s.stats.BoundaryMissed)
 	r.GaugeFunc("mercury_solver_energy_joules_total", "cluster-wide cumulative energy drawn",
 		func() float64 { return float64(s.sol.TotalEnergy()) })
 
@@ -201,12 +221,25 @@ func (s *Server) StartTicker() {
 				expected := int64(s.clk.Now().Sub(start) / step)
 				taken := 0
 				for int64(s.stats.SolverSteps.Load()) < expected {
+					// Lockstep barrier: stepping tick T needs every
+					// peer's tick T-1 boundary exhausts (the model's
+					// one-tick transport delay). Tick 1 steps from the
+					// shared initial temperatures, so nothing to wait
+					// for.
+					if next := s.stats.SolverSteps.Load() + 1; s.peers != nil && next >= 2 {
+						if !s.awaitBoundary(next - 1) {
+							return
+						}
+					}
 					var begin time.Duration
 					if s.tracer != nil {
 						begin = s.tracer.Now()
 					}
 					s.stepFn()
 					n := s.stats.SolverSteps.Add(1)
+					if s.peers != nil {
+						s.publishBoundary(n)
+					}
 					if s.tracer != nil {
 						s.tracer.Emit(causal.Span{
 							Trace: s.tracer.NewTrace("solver-step"),
@@ -253,6 +286,7 @@ func (s *Server) Serve() error {
 // Close shuts the daemon down: the ticker stops and Serve returns.
 func (s *Server) Close() error {
 	s.tickOnce.Do(func() { close(s.stopTick) })
+	s.closeBoundary()
 	s.tickWG.Wait()
 	return s.conn.Close()
 }
@@ -280,6 +314,10 @@ func (s *Server) handle(buf []byte, peer *net.UDPAddr) {
 		s.reply(peer, s.handleFiddle(buf))
 	case wire.MsgListNodes:
 		s.reply(peer, s.handleList(buf))
+	case wire.MsgUtilBatch:
+		s.handleUtilBatch(buf)
+	case wire.MsgBoundaryExchange:
+		s.handleBoundary(buf)
 	default:
 		s.stats.Malformed.Add(1)
 	}
@@ -299,12 +337,19 @@ func (s *Server) handleUtil(buf []byte) {
 		s.stats.Malformed.Add(1)
 		return
 	}
+	s.applyUtil(u.Machine, u.Seq, u.Entries, u.Trace)
+}
+
+// applyUtil installs one machine's utilization report — the shared path
+// behind standalone updates and batched reports, so both get identical
+// dedupe, counting and tracing.
+func (s *Server) applyUtil(machine string, seq uint32, entries []wire.UtilEntry, tc wire.TraceContext) {
 	s.mu.Lock()
-	last, seen := s.lastSeq[u.Machine]
+	last, seen := s.lastSeq[machine]
 	// Drop stale reordered datagrams, but accept wraparound restarts.
-	stale := seen && u.Seq <= last && last-u.Seq < 1<<30
+	stale := seen && seq <= last && last-seq < 1<<30
 	if !stale {
-		s.lastSeq[u.Machine] = u.Seq
+		s.lastSeq[machine] = seq
 	}
 	s.mu.Unlock()
 	if stale {
@@ -314,23 +359,23 @@ func (s *Server) handleUtil(buf []byte) {
 	if s.tracer != nil {
 		begin = s.tracer.Now()
 	}
-	for _, e := range u.Entries {
+	for _, e := range entries {
 		// Unknown machines/sources are counted but otherwise ignored:
 		// monitord may legitimately report streams the model does not
 		// use (e.g. network utilization on a machine with no NIC node).
-		if err := s.sol.SetUtilization(u.Machine, e.Source, e.Util); err != nil {
+		if err := s.sol.SetUtilization(machine, e.Source, e.Util); err != nil {
 			s.stats.Malformed.Add(1)
 		}
 	}
 	s.stats.UtilUpdates.Add(1)
-	if s.tracer != nil && u.Trace.Trace != 0 {
+	if s.tracer != nil && tc.Trace != 0 {
 		s.tracer.Emit(causal.Span{
-			Trace:   u.Trace.Trace,
-			Parent:  u.Trace.Span,
+			Trace:   tc.Trace,
+			Parent:  tc.Span,
 			Kind:    causal.KindUtilApply,
 			Begin:   begin,
 			End:     s.tracer.Now(),
-			Machine: u.Machine,
+			Machine: machine,
 			Step:    s.stats.SolverSteps.Load(),
 		})
 	}
@@ -386,6 +431,14 @@ func (s *Server) ApplyFiddle(op *wire.FiddleOp) error {
 		return err
 	}
 	if s.events != nil {
+		// Source setpoints are global, so sharded runs broadcast them
+		// to every region; only region 0 logs the event, keeping the
+		// shared event log identical to a single-solver run.
+		if op.Op == wire.OpSetSourceTemp {
+			if idx, total := s.sol.Region(); total > 0 && idx != 0 {
+				return nil
+			}
+		}
 		machine := ""
 		if len(op.Strings) > 0 {
 			machine = op.Strings[0]
@@ -437,6 +490,16 @@ type StateSnapshot struct {
 	FiddleOps   uint64 `json:"fiddle_ops"`
 	Malformed   uint64 `json:"malformed"`
 
+	// Region/Regions label this daemon's shard of a partitioned
+	// cluster; Regions is 0 for an unpartitioned run.
+	Region  int `json:"region"`
+	Regions int `json:"regions,omitempty"`
+	// Boundary exchange counters (sharded runs only).
+	UtilBatches    uint64 `json:"util_batches,omitempty"`
+	BoundaryOut    uint64 `json:"boundary_out,omitempty"`
+	BoundaryIn     uint64 `json:"boundary_in,omitempty"`
+	BoundaryMissed uint64 `json:"boundary_missed,omitempty"`
+
 	// Machines maps machine name to its node temperatures (Celsius).
 	Machines map[string]map[string]float64 `json:"machines"`
 	// Temps summarizes the sampled temperature rings (telemetry only).
@@ -456,6 +519,11 @@ func (s *Server) State() StateSnapshot {
 		Malformed:   s.stats.Malformed.Load(),
 		Machines:    map[string]map[string]float64{},
 	}
+	snap.Region, snap.Regions = s.sol.Region()
+	snap.UtilBatches = s.stats.UtilBatches.Load()
+	snap.BoundaryOut = s.stats.BoundaryOut.Load()
+	snap.BoundaryIn = s.stats.BoundaryIn.Load()
+	snap.BoundaryMissed = s.stats.BoundaryMissed.Load()
 	for m, temps := range s.sol.Snapshot() {
 		mt := make(map[string]float64, len(temps))
 		for n, t := range temps {

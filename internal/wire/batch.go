@@ -1,0 +1,262 @@
+package wire
+
+// This file holds the scale-out messages: boundary exhaust exchange
+// between peer solver daemons of a horizontally partitioned cluster,
+// and batched utilization updates that put many machines in one
+// datagram instead of one 128-byte datagram each. Both are strict
+// about their framing — wrong counts, short buffers, slack bytes, and
+// malformed trace trailers are all rejected with typed errors —
+// because a partitioned run's determinism rests on every applied
+// datagram meaning exactly what the sender stepped.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// MaxBoundaryRecords bounds the records of one boundary exchange
+// datagram: 16 bytes of header, 12 per record, and an optional 16-byte
+// trace trailer stay well inside the daemon's 2048-byte receive
+// buffer. Larger boundaries are chunked across datagrams; the receiver
+// counts applied records per tick, so chunk boundaries are invisible.
+const MaxBoundaryRecords = 128
+
+// BoundaryRecord is one machine's published exhaust temperature. The
+// machine travels as its global index in cluster compilation order —
+// every instance of a partitioned cluster compiles the same full
+// cluster, so indices are 4 fixed bytes where names would be variable
+// and ~10x larger.
+type BoundaryRecord struct {
+	Machine uint32
+	Temp    units.Celsius
+}
+
+// BoundaryExchange carries the boundary exhaust temperatures one
+// region publishes to a peer after stepping a tick. The receiver
+// applies every record of tick T before stepping tick T+1 — the
+// lockstep barrier that keeps a partitioned run bit-identical to a
+// single solver.
+type BoundaryExchange struct {
+	// Region is the SENDING region's index.
+	Region uint32
+	// Tick is the solver step count after which the exhausts were read.
+	Tick uint64
+	// Records are the published exhausts, at most MaxBoundaryRecords.
+	Records []BoundaryRecord
+	// Trace optionally attributes the exchange (version-2 trailer).
+	Trace TraceContext
+}
+
+// MarshalBoundaryExchange encodes an exchange datagram.
+func MarshalBoundaryExchange(b *BoundaryExchange) ([]byte, error) {
+	if len(b.Records) == 0 {
+		return nil, ErrEmptyBoundary
+	}
+	if len(b.Records) > MaxBoundaryRecords {
+		return nil, ErrTooManyBoundary
+	}
+	e := traceHeader(MsgBoundaryExchange, b.Trace)
+	e.u32(b.Region)
+	e.u64(b.Tick)
+	e.byte(byte(len(b.Records) >> 8)) // count as big-endian u16
+	e.byte(byte(len(b.Records)))
+	for _, r := range b.Records {
+		e.u32(r.Machine)
+		e.f64(float64(r.Temp))
+	}
+	if !b.Trace.Zero() {
+		e.trace(b.Trace)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf, nil
+}
+
+// UnmarshalBoundaryExchange decodes an exchange datagram. The record
+// count must match the buffer exactly: short buffers, slack bytes and
+// empty exchanges are all rejected.
+func UnmarshalBoundaryExchange(buf []byte) (*BoundaryExchange, error) {
+	d, ver, err := checkHeaderVer(buf, MsgBoundaryExchange)
+	if err != nil {
+		return nil, err
+	}
+	b := &BoundaryExchange{}
+	if b.Region, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if b.Tick, err = d.u64(); err != nil {
+		return nil, err
+	}
+	hi, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	lo, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	n := int(hi)<<8 | int(lo)
+	if n == 0 {
+		return nil, ErrEmptyBoundary
+	}
+	if n > MaxBoundaryRecords {
+		return nil, ErrTooManyBoundary
+	}
+	b.Records = make([]BoundaryRecord, n)
+	for i := range b.Records {
+		if b.Records[i].Machine, err = d.u32(); err != nil {
+			return nil, err
+		}
+		v, err := d.f64()
+		if err != nil {
+			return nil, err
+		}
+		b.Records[i].Temp = units.Celsius(v)
+	}
+	if ver == VersionTrace {
+		if b.Trace, err = d.trace(); err != nil {
+			return nil, err
+		}
+	}
+	if d.pos != len(buf) {
+		return nil, ErrTrailingBytes
+	}
+	return b, nil
+}
+
+// sortedEntries returns entries ordered by source, the deterministic
+// encoding order shared with standalone updates.
+func sortedEntries(entries []UtilEntry) []UtilEntry {
+	out := append([]UtilEntry(nil), entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// MaxBatchMachines bounds the machines of one utilization batch; with
+// up to 8 entries per machine the worst case stays inside MaxBatchSize.
+const MaxBatchMachines = 16
+
+// MaxBatchSize bounds an encoded batch datagram, matching the solver
+// daemon's receive buffer.
+const MaxBatchSize = 2048
+
+// UtilReport is one machine's slice of a utilization batch — the same
+// (machine, seq, entries) triple a standalone UtilUpdate carries,
+// without the per-machine padding and headers.
+type UtilReport struct {
+	Machine string
+	Seq     uint32
+	Entries []UtilEntry
+}
+
+// UtilBatch carries many machines' utilization reports in one
+// datagram. A monitord responsible for a whole rack sends one of these
+// per interval instead of one 128-byte datagram per machine: for a
+// 16-machine rack that is ~6x fewer bytes and 16x fewer system calls.
+// The receiver applies each report through the same per-machine
+// sequence dedupe as standalone updates.
+type UtilBatch struct {
+	Reports []UtilReport
+	// Trace optionally attributes the whole batch (version-2 trailer).
+	Trace TraceContext
+}
+
+// MarshalUtilBatch encodes a batch datagram. Report entries are sorted
+// by source like standalone updates so encoding is deterministic;
+// report order is the caller's and preserved.
+func MarshalUtilBatch(b *UtilBatch) ([]byte, error) {
+	if len(b.Reports) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if len(b.Reports) > MaxBatchMachines {
+		return nil, ErrTooManyBatch
+	}
+	e := traceHeader(MsgUtilBatch, b.Trace)
+	e.byte(byte(len(b.Reports)))
+	for _, r := range b.Reports {
+		if len(r.Entries) > 8 {
+			return nil, ErrTooManyUtil
+		}
+		e.str(r.Machine)
+		e.u32(r.Seq)
+		e.byte(byte(len(r.Entries)))
+		for _, en := range sortedEntries(r.Entries) {
+			e.str(string(en.Source))
+			e.f64(float64(en.Util.Clamp()))
+		}
+	}
+	if !b.Trace.Zero() {
+		e.trace(b.Trace)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	if len(e.buf) > MaxBatchSize {
+		return nil, fmt.Errorf("wire: utilization batch needs %d bytes, limit %d", len(e.buf), MaxBatchSize)
+	}
+	return e.buf, nil
+}
+
+// UnmarshalUtilBatch decodes a batch datagram with the same strictness
+// as the boundary exchange: zero machines, short buffers and slack
+// bytes are rejected.
+func UnmarshalUtilBatch(buf []byte) (*UtilBatch, error) {
+	d, ver, err := checkHeaderVer(buf, MsgUtilBatch)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if int(n) > MaxBatchMachines {
+		return nil, ErrTooManyBatch
+	}
+	b := &UtilBatch{Reports: make([]UtilReport, n)}
+	for i := range b.Reports {
+		r := &b.Reports[i]
+		if r.Machine, err = d.str(); err != nil {
+			return nil, err
+		}
+		if r.Seq, err = d.u32(); err != nil {
+			return nil, err
+		}
+		en, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if en > 8 {
+			return nil, ErrTooManyUtil
+		}
+		for j := 0; j < int(en); j++ {
+			src, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.f64()
+			if err != nil {
+				return nil, err
+			}
+			r.Entries = append(r.Entries, UtilEntry{
+				Source: model.UtilSource(src),
+				Util:   units.Fraction(v).Clamp(),
+			})
+		}
+	}
+	if ver == VersionTrace {
+		if b.Trace, err = d.trace(); err != nil {
+			return nil, err
+		}
+	}
+	if d.pos != len(buf) {
+		return nil, ErrTrailingBytes
+	}
+	return b, nil
+}

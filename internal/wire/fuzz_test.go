@@ -36,6 +36,30 @@ func fuzzSeeds(f *testing.F) {
 	f.Add(op)
 	lr, _ := MarshalListReply(&ListReply{Status: StatusOK, Names: []string{"a", "b"}})
 	f.Add(lr)
+	// Scale-out messages, v1 and traced v2 forms plus the interesting
+	// rejections (truncated, oversized count, trailing slack, zero
+	// machines) so the corpus always walks the strict-decode branches.
+	be := &BoundaryExchange{Region: 1, Tick: 9, Records: []BoundaryRecord{{Machine: 2, Temp: 38.5}}}
+	b1, _ := MarshalBoundaryExchange(be)
+	f.Add(b1)
+	be.Trace = tc
+	b2, _ := MarshalBoundaryExchange(be)
+	f.Add(b2)
+	f.Add(b1[:len(b1)-4])
+	f.Add(append(append([]byte(nil), b2...), 0))
+	f.Add([]byte{Version, MsgBoundaryExchange, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0xFF, 0xFF})
+	ub := &UtilBatch{Reports: []UtilReport{
+		{Machine: "m1", Seq: 3, Entries: []UtilEntry{{Source: model.UtilCPU, Util: 0.5}}},
+		{Machine: "m2", Seq: 3, Entries: []UtilEntry{{Source: model.UtilDisk, Util: 0.25}}},
+	}}
+	ub1, _ := MarshalUtilBatch(ub)
+	f.Add(ub1)
+	ub.Trace = tc
+	ub2, _ := MarshalUtilBatch(ub)
+	f.Add(ub2)
+	f.Add(ub1[:len(ub1)-3])
+	f.Add(append(append([]byte(nil), ub2...), 0))
+	f.Add([]byte{Version, MsgUtilBatch, 0})
 	f.Add([]byte{})
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, 0xEE, 1, 2, 3})
@@ -95,6 +119,61 @@ func FuzzUnmarshalFiddleOp(f *testing.F) {
 		}
 		if _, err := MarshalFiddleOp(op); err != nil {
 			t.Fatalf("decoded op does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalBoundaryExchange(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := UnmarshalBoundaryExchange(data)
+		if err != nil {
+			return
+		}
+		if len(b.Records) == 0 || len(b.Records) > MaxBoundaryRecords {
+			t.Fatalf("decoder accepted %d records", len(b.Records))
+		}
+		buf, err := MarshalBoundaryExchange(b)
+		if err != nil {
+			t.Fatalf("decoded exchange does not re-encode: %v", err)
+		}
+		again, err := UnmarshalBoundaryExchange(buf)
+		if err != nil {
+			t.Fatalf("re-encoded exchange does not decode: %v", err)
+		}
+		if again.Trace != b.Trace || again.Tick != b.Tick || len(again.Records) != len(b.Records) {
+			t.Fatalf("exchange unstable: %+v -> %+v", b, again)
+		}
+	})
+}
+
+func FuzzUnmarshalUtilBatch(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := UnmarshalUtilBatch(data)
+		if err != nil {
+			return
+		}
+		if len(b.Reports) == 0 || len(b.Reports) > MaxBatchMachines {
+			t.Fatalf("decoder accepted %d reports", len(b.Reports))
+		}
+		buf, err := MarshalUtilBatch(b)
+		if err != nil {
+			t.Fatalf("decoded batch does not re-encode: %v", err)
+		}
+		again, err := UnmarshalUtilBatch(buf)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if again.Trace != b.Trace {
+			t.Fatalf("trace context unstable: %+v -> %+v", b.Trace, again.Trace)
+		}
+		for _, r := range again.Reports {
+			for _, e := range r.Entries {
+				if !e.Util.Valid() {
+					t.Fatalf("decoded invalid utilization %v", float64(e.Util))
+				}
+			}
 		}
 	})
 }

@@ -28,6 +28,13 @@ const (
 	MsgFiddleReply = 0x05
 	MsgListNodes   = 0x06
 	MsgListReply   = 0x07
+	// MsgBoundaryExchange carries one region's boundary exhaust
+	// temperatures to a peer solver daemon of a horizontally partitioned
+	// cluster (batch.go).
+	MsgBoundaryExchange = 0x08
+	// MsgUtilBatch carries many machines' utilization reports in one
+	// datagram (batch.go).
+	MsgUtilBatch = 0x09
 )
 
 // Version is the baseline protocol version byte leading every
@@ -77,6 +84,21 @@ var (
 	ErrStringSize  = errors.New("wire: string exceeds 255 bytes")
 	ErrTooManyUtil = errors.New("wire: too many utilization entries")
 	ErrBadTrace    = errors.New("wire: malformed trace context")
+	// ErrEmptyBoundary rejects a boundary exchange with no records: the
+	// message exists only to carry temperatures, so an empty one is
+	// malformed, not a no-op.
+	ErrEmptyBoundary = errors.New("wire: boundary exchange carries no records")
+	// ErrTooManyBoundary bounds one exchange datagram; larger boundaries
+	// are chunked by the sender (MaxBoundaryRecords).
+	ErrTooManyBoundary = errors.New("wire: too many boundary records")
+	// ErrEmptyBatch rejects a utilization batch reporting no machines.
+	ErrEmptyBatch = errors.New("wire: utilization batch carries no machines")
+	// ErrTooManyBatch bounds the machines of one batch datagram
+	// (MaxBatchMachines).
+	ErrTooManyBatch = errors.New("wire: too many machines in utilization batch")
+	// ErrTrailingBytes rejects datagrams with bytes after a complete
+	// payload; the fixed-width messages tolerate no slack.
+	ErrTrailingBytes = errors.New("wire: trailing bytes after payload")
 )
 
 // TraceContext is a causal trace reference carried across the wire

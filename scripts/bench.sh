@@ -20,6 +20,11 @@
 # so BENCH_*.json tracks online-mode throughput alongside the solver
 # numbers.
 #
+# BenchmarkUtilBatch (internal/wire) reports bytes/interval and
+# datagrams/interval for a 16-machine rack sent as one batched
+# utilization datagram versus sixteen 128-byte singles, so BENCH_*.json
+# also tracks the scale-out wire costs (docs/protocol.md).
+#
 # Benchmarks run with -benchmem, so B/op and allocs/op land in each
 # entry's metrics; scripts/bench_diff.sh uses allocs/op to flag hot
 # paths that were allocation-free and have started allocating.
