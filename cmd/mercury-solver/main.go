@@ -43,9 +43,16 @@ import (
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/solver"
 	"github.com/darklab/mercury/internal/solverd"
+	"github.com/darklab/mercury/internal/surrogate"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/trace"
 )
+
+// surrogateFitInterval paces the background refit of the on-line
+// what-if surrogate. The default recording stride keeps one sample a
+// minute of emulated time, so a fit every wall-clock minute tracks
+// load shifts without measurable stepping cost.
+const surrogateFitInterval = time.Minute
 
 type probeList []trace.Probe
 
@@ -244,6 +251,23 @@ func run(cfg runConfig) error {
 		tracer = causal.NewTracer(0, clk)
 		opts = append(opts, solverd.WithTracer(tracer))
 	}
+	// The surrogate fast path rides the control plane: with -ctl set on
+	// an unpartitioned run, the stepping ticker records trajectory
+	// samples, a background goroutine refits, and POST /whatif answers
+	// steady-state queries in microseconds (kernel fallback when the
+	// model declines). Sharded daemons skip it — each shard sees only
+	// its region's inputs, so a local fit cannot answer room-wide
+	// questions honestly.
+	var surro *surrogate.Model
+	if cfg.ctlAddr != "" && cfg.regions <= 1 {
+		surro, err = surrogate.New(sol, surrogate.Config{})
+		if err != nil {
+			return err
+		}
+		surro.StartAutoFit(surrogateFitInterval)
+		defer surro.Close()
+		opts = append(opts, solverd.WithSurrogate(surro))
+	}
 	srv, err := solverd.Listen(cfg.listen, sol, opts...)
 	if err != nil {
 		return err
@@ -277,6 +301,9 @@ func run(cfg runConfig) error {
 		}
 		if tracer != nil {
 			ctlOpts = append(ctlOpts, ctl.WithTracer(tracer))
+		}
+		if surro != nil {
+			ctlOpts = append(ctlOpts, ctl.WithWhatIf(srv.WhatIf))
 		}
 		if cfg.pprofOn {
 			ctlOpts = append(ctlOpts, ctl.WithPprof())

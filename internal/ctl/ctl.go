@@ -14,6 +14,14 @@
 //	POST /fiddle   — JSON fiddle op {"op":"pin-inlet","strings":[...],
 //	                 "floats":[...]}, applied through the daemon's
 //	                 fiddle handler
+//	POST /whatif   — surrogate steady-state query (see
+//	                 internal/surrogate.Query; "fallback":false disables
+//	                 the kernel fallback); 404 unless the daemon
+//	                 attached a what-if handler
+//
+// Request bodies are decoded strictly: unknown fields and trailing
+// data are 400s, and fiddle/what-if references to machines or nodes
+// the model doesn't have are 404s.
 //
 // With WithPprof the standard net/http/pprof profiles additionally
 // appear under /debug/pprof/ (opt-in via each daemon's -pprof flag).
@@ -25,6 +33,7 @@ package ctl
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -33,6 +42,8 @@ import (
 	"time"
 
 	"github.com/darklab/mercury/internal/causal"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/surrogate"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/wire"
 )
@@ -62,6 +73,15 @@ func WithState(fn func() any) Option {
 // concurrent use.
 func WithFiddle(fn func(*wire.FiddleOp) error) Option {
 	return func(s *Server) { s.fiddleFn = fn }
+}
+
+// WithWhatIf sets the handler behind POST /whatif. fn receives the
+// decoded query plus whether the caller accepts a kernel fallback for
+// declined queries, and returns the answer; it must be safe for
+// concurrent use. Daemons embedding a surrogate pass a closure over
+// Model.WhatIf (solverd serializes it against stepping).
+func WithWhatIf(fn func(q *surrogate.Query, fallback bool) (*surrogate.Answer, error)) Option {
+	return func(s *Server) { s.whatIfFn = fn }
 }
 
 // WithTracer serves the daemon's causal-span ring at /spans.
@@ -94,6 +114,7 @@ type Server struct {
 	events   *telemetry.EventLog
 	stateFn  func() any
 	fiddleFn func(*wire.FiddleOp) error
+	whatIfFn func(*surrogate.Query, bool) (*surrogate.Answer, error)
 	tracer   *causal.Tracer
 	pprof    bool
 	extra    []mount
@@ -125,6 +146,7 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/spans", s.handleSpans)
 	s.mux.HandleFunc("/fiddle", s.handleFiddle)
+	s.mux.HandleFunc("/whatif", s.handleWhatIf)
 	if s.pprof {
 		// The server has its own mux, so the handlers pprof registers
 		// on http.DefaultServeMux must be mounted by hand.
@@ -340,7 +362,7 @@ func (s *Server) handleFiddle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req fiddleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r, &req); err != nil {
 		writeFiddle(w, http.StatusBadRequest, "error", "bad JSON: "+err.Error())
 		return
 	}
@@ -355,10 +377,73 @@ func (s *Server) handleFiddle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.fiddleFn(op); err != nil {
+		// A name the model simply doesn't have is the client's lookup
+		// miss, not an invalid op.
+		var unknown *solver.ErrUnknown
+		if errors.As(err, &unknown) {
+			writeFiddle(w, http.StatusNotFound, "error", err.Error())
+			return
+		}
 		writeFiddle(w, http.StatusUnprocessableEntity, "error", err.Error())
 		return
 	}
 	writeFiddle(w, http.StatusOK, "ok", "")
+}
+
+// decodeStrict decodes a request body rejecting unknown fields and
+// trailing garbage — a typo'd field name in an op that would otherwise
+// quietly no-op is almost certainly a bug in the caller.
+func decodeStrict(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// whatIfRequest is the POST /whatif body: a surrogate query plus
+// whether a declined query may fall back to the real kernel (default
+// true — callers that only want the microsecond path set it false).
+type whatIfRequest struct {
+	surrogate.Query
+	Fallback *bool `json:"fallback"`
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if s.whatIfFn == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "ctl: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req whatIfRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeFiddle(w, http.StatusBadRequest, "error", "bad JSON: "+err.Error())
+		return
+	}
+	fallback := req.Fallback == nil || *req.Fallback
+	ans, err := s.whatIfFn(&req.Query, fallback)
+	if err != nil {
+		var unknown *solver.ErrUnknown
+		if errors.As(err, &unknown) {
+			writeFiddle(w, http.StatusNotFound, "error", err.Error())
+			return
+		}
+		writeFiddle(w, http.StatusBadRequest, "error", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ans); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func writeFiddle(w http.ResponseWriter, status int, st, msg string) {

@@ -33,6 +33,14 @@ type ECConfig struct {
 	BootDelay time.Duration
 	// MinActive is the smallest active configuration; default 1.
 	MinActive int
+	// Predictor, when non-nil, enables the predictive mode: power-off
+	// candidates are ranked by predicted room impact (coolest resulting
+	// room first) and power-ons pick the machine whose activation heats
+	// the room least, instead of pure static capacity/region order. Any
+	// decline for any candidate reverts that decision to the static
+	// order, so a cold or invalidated predictor degrades to exactly the
+	// paper's policy.
+	Predictor ThermalPredictor
 }
 
 func (c ECConfig) withDefaults() ECConfig {
@@ -444,26 +452,39 @@ func (e *EC) offCount() int {
 
 // turnOnOne selects a region round-robin — requiring an off server,
 // preferring regions without emergencies — and boots one server there.
-// A non-zero tc ties the power-on to the emergency that triggered it.
+// With a Predictor the choice is instead the off server whose
+// activation is predicted to heat the room least (calm regions still
+// preferred); the round-robin cursor is left untouched so a later
+// decline resumes the static rotation exactly where it left off. A
+// non-zero tc ties the power-on to the emergency that triggered it.
 func (e *EC) turnOnOne(tc causal.Context) error {
-	pick := func(requireCalm bool) string {
-		for i := 0; i < len(e.regions); i++ {
-			region := e.regions[(e.rr+i)%len(e.regions)]
-			if requireCalm && e.emergencies[region] > 0 {
-				continue
-			}
-			for _, m := range e.order {
-				if e.cfg.Regions[m] == region && e.phase[m] == phaseOff {
-					e.rr = (e.rr + i + 1) % len(e.regions)
-					return m
+	var m, detail string
+	if e.cfg.Predictor != nil {
+		m = e.predictiveTurnOn()
+		if m != "" {
+			detail = "predictive"
+		}
+	}
+	if m == "" {
+		pick := func(requireCalm bool) string {
+			for i := 0; i < len(e.regions); i++ {
+				region := e.regions[(e.rr+i)%len(e.regions)]
+				if requireCalm && e.emergencies[region] > 0 {
+					continue
+				}
+				for _, mm := range e.order {
+					if e.cfg.Regions[mm] == region && e.phase[mm] == phaseOff {
+						e.rr = (e.rr + i + 1) % len(e.regions)
+						return mm
+					}
 				}
 			}
+			return ""
 		}
-		return ""
-	}
-	m := pick(true)
-	if m == "" {
-		m = pick(false)
+		m = pick(true)
+		if m == "" {
+			m = pick(false)
+		}
 	}
 	if m == "" {
 		return nil // nothing off anywhere
@@ -475,10 +496,48 @@ func (e *EC) turnOnOne(tc causal.Context) error {
 	e.bootLeft[m] = e.bootTicks()
 	e.turnOns++
 	if e.events != nil {
-		e.events.Emit(telemetry.EvPowerOn, m, "", float64(e.cfg.Regions[m]), "")
+		e.events.Emit(telemetry.EvPowerOn, m, "", float64(e.cfg.Regions[m]), detail)
 	}
 	e.trace.action(tc, causal.KindPowerOn, m, float64(e.cfg.Regions[m]))
 	return nil
+}
+
+// predictiveTurnOn scores every off server's activation with the
+// predictor and returns the coolest pick, preferring calm regions.
+// Ties break on compile order (e.order) so runs stay deterministic.
+// It returns "" — use the static rotation — if the predictor declines
+// any candidate.
+func (e *EC) predictiveTurnOn() string {
+	pick := func(requireCalm bool) (string, bool) {
+		best := ""
+		bestScore := math.Inf(1)
+		for _, m := range e.order {
+			if e.phase[m] != phaseOff {
+				continue
+			}
+			if requireCalm && e.emergencies[e.cfg.Regions[m]] > 0 {
+				continue
+			}
+			score, ok := e.cfg.Predictor.PowerImpact(m, true)
+			if !ok {
+				return "", false
+			}
+			if score < bestScore {
+				best, bestScore = m, score
+			}
+		}
+		return best, true
+	}
+	m, ok := pick(true)
+	if !ok {
+		return ""
+	}
+	if m == "" {
+		if m, ok = pick(false); !ok {
+			return ""
+		}
+	}
+	return m
 }
 
 // beginDrain quiesces a server and lets its connections finish before
@@ -500,13 +559,17 @@ func (e *EC) beginDrain(machine string, tc causal.Context) error {
 // shrink turns off as many servers as possible while the remaining
 // average utilization stays below Ul, in increasing order of current
 // processing capacity (weight), hottest first among equals — hampered
-// servers leave the configuration first.
+// servers leave the configuration first. With a Predictor, candidates
+// are instead ranked by the predicted room maximum after their
+// power-off (coolest resulting room drains first), stably over the
+// static order so ties and declines preserve the paper's behavior.
 func (e *EC) shrink() error {
 	for e.canRemove(1) {
 		type cand struct {
 			name   string
 			weight float64
 			temp   float64
+			score  float64
 		}
 		var cands []cand
 		for _, m := range e.order {
@@ -539,6 +602,22 @@ func (e *EC) shrink() error {
 			}
 			return cands[i].name < cands[j].name
 		})
+		if e.cfg.Predictor != nil {
+			scored := true
+			for i := range cands {
+				s, ok := e.cfg.Predictor.PowerImpact(cands[i].name, false)
+				if !ok {
+					scored = false
+					break
+				}
+				cands[i].score = s
+			}
+			if scored {
+				sort.SliceStable(cands, func(i, j int) bool {
+					return cands[i].score < cands[j].score
+				})
+			}
+		}
 		if err := e.beginDrain(cands[0].name, e.trace.ctx(cands[0].name)); err != nil {
 			return err
 		}

@@ -1,0 +1,155 @@
+package freon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/lvs"
+	"github.com/darklab/mercury/internal/units"
+)
+
+// fakePredictor scores power transitions from fixed tables; a machine
+// missing from the relevant table makes the predictor decline.
+type fakePredictor struct {
+	on, off map[string]float64
+	decline bool
+	calls   int
+}
+
+func (p *fakePredictor) PowerImpact(machine string, on bool) (float64, bool) {
+	p.calls++
+	if p.decline {
+		return 0, false
+	}
+	tab := p.off
+	if on {
+		tab = p.on
+	}
+	v, ok := tab[machine]
+	return v, ok
+}
+
+// tickSeq drives an EC through the canonical shrink-then-grow load
+// profile and returns the phase of every machine after each period.
+func tickSeq(t *testing.T, e *EC, env *fakeEnv) []string {
+	t.Helper()
+	var trace []string
+	record := func() {
+		for _, m := range []string{"m1", "m2", "m3", "m4"} {
+			trace = append(trace, m+"="+e.Phase(m))
+		}
+	}
+	setAllUtil(env, 0.05)
+	for i := 0; i < 6; i++ {
+		if err := e.TickPeriod(); err != nil {
+			t.Fatal(err)
+		}
+		record()
+	}
+	for _, u := range []units.Fraction{0.3, 0.5, 0.65, 0.75, 0.75, 0.75} {
+		setAllUtil(env, u)
+		if err := e.TickPeriod(); err != nil {
+			t.Fatal(err)
+		}
+		record()
+	}
+	return trace
+}
+
+// TestECDecliningPredictorMatchesStatic pins the fallback contract: an
+// EC whose predictor declines every query must make exactly the same
+// decisions, tick for tick, as an EC with no predictor at all.
+func TestECDecliningPredictorMatchesStatic(t *testing.T) {
+	build := func(p ThermalPredictor) (*EC, *fakeEnv) {
+		env := newFakeEnv("m1", "m2", "m3", "m4")
+		bal := lvs.New()
+		return newEC(t, env, bal, ECConfig{BootDelay: time.Second, Predictor: p}), env
+	}
+	static, senv := build(nil)
+	declined := &fakePredictor{decline: true}
+	pred, penv := build(declined)
+
+	want := tickSeq(t, static, senv)
+	got := tickSeq(t, pred, penv)
+	if len(want) != len(got) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("decision %d diverged: static %s, declining predictor %s", i, want[i], got[i])
+		}
+	}
+	if declined.calls == 0 {
+		t.Fatal("predictor was never consulted")
+	}
+	if static.TurnOns() != pred.TurnOns() || static.TurnOffs() != pred.TurnOffs() {
+		t.Fatalf("reconfiguration counts diverged: %d/%d vs %d/%d",
+			static.TurnOns(), static.TurnOffs(), pred.TurnOns(), pred.TurnOffs())
+	}
+}
+
+// TestECPredictiveShrinkOrder: at low load the machine whose power-off
+// is predicted to cool the room most drains first, so the survivor
+// differs from the static capacity-order run (which would keep m4).
+func TestECPredictiveShrinkOrder(t *testing.T) {
+	env := newFakeEnv("m1", "m2", "m3", "m4")
+	bal := lvs.New()
+	p := &fakePredictor{
+		// Powering off m4 helps the room most; statically (equal
+		// weights, equal temps, name order) m1 would drain first and m4
+		// would be the survivor.
+		off: map[string]float64{"m1": 60, "m2": 60, "m3": 60, "m4": 50},
+		on:  map[string]float64{},
+	}
+	e := newEC(t, env, bal, ECConfig{Predictor: p})
+	setAllUtil(env, 0.05)
+	for i := 0; i < 6; i++ {
+		if err := e.TickPeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.ActiveCount() != 1 {
+		t.Fatalf("active = %d, want 1", e.ActiveCount())
+	}
+	if e.Phase("m4") == "active" {
+		t.Fatal("predicted-best power-off candidate m4 survived the shrink")
+	}
+	if e.Phase("m3") != "active" {
+		t.Fatalf("survivor = %s-phase map, want m3 active (drain order m4,m1,m2)", e.Phase("m3"))
+	}
+}
+
+// TestECPredictiveTurnOnPicksCoolest: growing the configuration boots
+// the off machine whose activation is predicted to heat the room
+// least, not the region round-robin pick, and tags the event.
+func TestECPredictiveTurnOnPicksCoolest(t *testing.T) {
+	env := newFakeEnv("m1", "m2", "m3", "m4")
+	bal := lvs.New()
+	p := &fakePredictor{
+		off: map[string]float64{"m1": 55, "m2": 55, "m3": 55, "m4": 55},
+		on:  map[string]float64{"m1": 62, "m2": 58, "m3": 61, "m4": 60},
+	}
+	e := newEC(t, env, bal, ECConfig{BootDelay: time.Second, Predictor: p})
+	setAllUtil(env, 0.05)
+	for i := 0; i < 6; i++ {
+		if err := e.TickPeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The shrink was also predictive: all off scores are equal, so the
+	// stable static order (m1, m2, m3) drained and m4 survived.
+	rrBefore := e.rr
+	setAllUtil(env, 0.5) // projection crosses Uh
+	if err := e.TickPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Phase("m2"); got != "booting" {
+		for _, m := range []string{"m1", "m2", "m3", "m4"} {
+			t.Logf("%s: %s", m, e.Phase(m))
+		}
+		t.Fatalf("m2 phase = %s, want booting (lowest predicted power-on impact)", got)
+	}
+	if e.rr != rrBefore {
+		t.Fatalf("predictive turn-on advanced the region round-robin cursor (%d -> %d)", rrBefore, e.rr)
+	}
+}

@@ -51,6 +51,21 @@ type Power interface {
 	SetPower(machine string, on bool) error
 }
 
+// ThermalPredictor estimates the steady thermal impact of a power
+// reconfiguration, letting Freon-EC rank candidates by predicted room
+// temperature instead of static region order. *surrogate.Model
+// implements it.
+type ThermalPredictor interface {
+	// PowerImpact returns the predicted steady maximum component
+	// temperature (°C) across the room if machine's power state were
+	// switched to on. ok=false means the predictor declines — no fit
+	// yet, stale model, query outside its validity envelope — and the
+	// caller must fall back to its static order. Implementations must
+	// be deterministic for a given fitted state so policy runs on a
+	// virtual clock stay reproducible.
+	PowerImpact(machine string, on bool) (maxTempC float64, ok bool)
+}
+
 // Thresholds are one component's control temperatures: the policy
 // engages above High, restrictions lift when everything drops below
 // Low, and RedLine forces a shutdown ("the maximum temperature that

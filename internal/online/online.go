@@ -36,6 +36,7 @@ import (
 	"github.com/darklab/mercury/internal/sensor"
 	"github.com/darklab/mercury/internal/solver"
 	"github.com/darklab/mercury/internal/solverd"
+	"github.com/darklab/mercury/internal/surrogate"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 	"github.com/darklab/mercury/internal/webcluster"
@@ -99,6 +100,14 @@ type Config struct {
 	// span per shard instead of per machine), so the trace goldens pin
 	// the default unbatched path.
 	Batch bool
+	// Surrogate attaches a what-if surrogate to the solver daemon:
+	// the stepping ticker records the run's trajectory (a passive,
+	// allocation-free observation that cannot change temperatures,
+	// events, or spans — the goldens pin this), and Result.Surrogate
+	// reports its counters. Single-shard runs only: a shard sees just
+	// its region's inputs, so a local fit cannot answer room-wide
+	// questions.
+	Surrogate bool
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +171,9 @@ type Result struct {
 	// unless Config.Trace). Like Events it is bit-identical across
 	// runs — the Figure 11 trace golden pins it.
 	Spans []causal.Span
+	// Surrogate reports the what-if surrogate's counters (nil unless
+	// Config.Surrogate).
+	Surrogate *surrogate.FitStats
 	// CtlAddr is the control plane's bound address ("" when disabled).
 	CtlAddr string
 }
@@ -195,10 +207,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	var regions [][]string
 	if cfg.Shards > 1 {
+		if cfg.Surrogate {
+			return nil, fmt.Errorf("online: Surrogate requires a single shard, got %d", cfg.Shards)
+		}
 		if regions, err = solver.PartitionRegions(cm, cfg.Shards); err != nil {
 			return nil, err
 		}
 	}
+	var surro *surrogate.Model
 	servers := make([]*solverd.Server, cfg.Shards)
 	for i := range servers {
 		sol, err := solver.New(cm, solver.Config{
@@ -220,6 +236,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if tracer != nil {
 			solverOpts = append(solverOpts, solverd.WithTracer(tracer))
+		}
+		if cfg.Surrogate && i == 0 {
+			if surro, err = surrogate.New(sol, surrogate.Config{}); err != nil {
+				return nil, err
+			}
+			solverOpts = append(solverOpts, solverd.WithSurrogate(surro))
 		}
 		if servers[i], err = solverd.Listen("127.0.0.1:0", sol, solverOpts...); err != nil {
 			return nil, err
@@ -579,6 +601,10 @@ func Run(cfg Config) (*Result, error) {
 	res.Events = events.Since(0)
 	if tracer != nil {
 		res.Spans = tracer.Canonical()
+	}
+	if surro != nil {
+		st := surro.Stats()
+		res.Surrogate = &st
 	}
 	res.CtlAddr = ctlAddr
 	return res, nil

@@ -557,3 +557,75 @@ func BenchmarkOnlineWarp(b *testing.B) {
 	}
 	b.ReportMetric(emu.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "emu-s/s")
 }
+
+// TestOnlineSurrogatePassive pins the surrogate's non-interference
+// contract: attaching a recording surrogate to the online stack must
+// not perturb a single temperature, event, or span — recording is a
+// read-only observer of the stepping ticker — while still filling the
+// sample ring the background fitter trains on.
+func TestOnlineSurrogatePassive(t *testing.T) {
+	script := "#!/bin/bash\nsleep 60\nfiddle machine1 temperature inlet 38.6\nfiddle machine3 temperature inlet 35.6\n"
+	base := online.Config{Duration: 300 * time.Second, Script: script, Trace: true}
+	want, err := online.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Surrogate = true
+	got, err := online.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Surrogate == nil {
+		t.Fatal("Config.Surrogate set but Result.Surrogate is nil")
+	}
+	// Default stride records once a minute of emulated time: a 300 s
+	// run must have banked trajectory samples.
+	if got.Surrogate.Samples < 4 {
+		t.Errorf("surrogate recorded %d samples over 300s, want >= 4", got.Surrogate.Samples)
+	}
+	if want.Surrogate != nil {
+		t.Error("Result.Surrogate set on a run without Config.Surrogate")
+	}
+
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(got.Samples), len(want.Samples))
+	}
+	for i := range want.Samples {
+		for j := range want.Samples[i].Temps {
+			if got.Samples[i].Temps[j] != want.Samples[i].Temps[j] {
+				t.Fatalf("sample %d machine %d: with surrogate %v != without %v",
+					i, j, got.Samples[i].Temps[j], want.Samples[i].Temps[j])
+			}
+		}
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(got.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d differs:\n  with surrogate: %s\n  without:        %s", i, got.Events[i], want.Events[i])
+		}
+	}
+	if len(got.Spans) != len(want.Spans) {
+		t.Fatalf("span counts differ: %d vs %d", len(got.Spans), len(want.Spans))
+	}
+	for i := range want.Spans {
+		if got.Spans[i] != want.Spans[i] {
+			t.Fatalf("span %d differs:\n  with surrogate: %s\n  without:        %s", i, got.Spans[i], want.Spans[i])
+		}
+	}
+	if got.Totals != want.Totals {
+		t.Errorf("totals differ: %+v vs %+v", got.Totals, want.Totals)
+	}
+
+	// Sharded runs must refuse the flag instead of fitting a model that
+	// can only see one region's inputs.
+	bad := base
+	bad.Surrogate = true
+	bad.Shards = 2
+	if _, err := online.Run(bad); err == nil {
+		t.Fatal("sharded run accepted Config.Surrogate")
+	}
+}

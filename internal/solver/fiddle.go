@@ -34,6 +34,7 @@ func (s *Solver) SetNodeTemperature(machine, node string, t units.Celsius) error
 		return &ErrUnknown{Kind: "node", Name: machine + "/" + node}
 	}
 	cm.temps[idx] = float64(t)
+	s.fiddleGen++ // a forced jump breaks trajectory continuity
 	s.markDirty(cm)
 	return nil
 }
@@ -145,6 +146,7 @@ func (s *Solver) SetHeatK(machine, a, b string, k units.WattsPerKelvin) error {
 		if (int(e.a) == ia && int(e.b) == ib) || (int(e.a) == ib && int(e.b) == ia) {
 			e.k = float64(k)
 			cm.refreshCoupleK()
+			s.fiddleGen++
 			s.markDirty(cm)
 			return nil
 		}
@@ -193,6 +195,7 @@ func (s *Solver) SetAirFraction(machine, from, to string, f units.Fraction) erro
 		e := &cm.airEdges[i]
 		if e.From == from && e.To == to {
 			e.Fraction = f
+			s.fiddleGen++
 			s.markDirty(cm)
 			return cm.recompileAirFlow()
 		}
@@ -215,6 +218,7 @@ func (s *Solver) SetFanFlow(machine string, flow units.CubicFeetPerMinute) error
 	cm.fanM3s = flow.CubicMetersPerSecond()
 	cm.nomCFM = flow
 	cm.refreshFlowCoef()
+	s.fiddleGen++
 	s.markDirty(cm)
 	return nil
 }
@@ -253,6 +257,7 @@ func (s *Solver) SetPowerScale(machine, component string, scale units.Fraction) 
 	}
 	cm.comps[ci].powerScale = float64(scale)
 	cm.refreshDraws()
+	s.fiddleGen++
 	s.markDirty(cm)
 	return nil
 }

@@ -179,8 +179,20 @@ type solverCore struct {
 	anyDirty bool
 	allQuiet bool
 
+	// fiddleGen counts mutations that change the step map itself —
+	// heat constants, air fractions, fan flows, power scales, forced
+	// node temperatures, state restores — as opposed to ordinary input
+	// changes (utilization, pins, source setpoints, machine power).
+	// The surrogate (internal/surrogate) records it with every
+	// trajectory sample so a fit can tell when its training data
+	// stopped describing the current physics; see ModelGeneration.
+	fiddleGen uint64
+
 	// Scratch buffers for SteadyState's dense linear system, reused
-	// under mu.
+	// under mu: SteadyState is the only writer and always holds s.mu
+	// across fill and solve, so concurrent SteadyState calls (e.g. a
+	// calibration sweep racing a /whatif kernel fallback) serialize on
+	// the lock rather than corrupting each other's scratch.
 	steadyA []float64
 	steadyB []float64
 	steadyX []float64

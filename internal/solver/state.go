@@ -200,6 +200,11 @@ func (s *Solver) RestoreState(st *State) error {
 		cm.invalidate()
 		s.anyDirty = true
 	}
+	// A restore can rewrite dynamics constants (heat Ks, fan flows,
+	// power scales) and temperatures wholesale, so any recorded
+	// trajectory no longer describes the live physics. WhatIf undoes
+	// this bump after its round trip.
+	s.fiddleGen++
 	return nil
 }
 

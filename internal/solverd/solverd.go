@@ -18,6 +18,7 @@ import (
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/fiddle"
 	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/surrogate"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/wire"
 )
@@ -74,6 +75,14 @@ type Server struct {
 	peers     *boundaryState
 	exportBuf []float64
 
+	// Surrogate fast path (nil unless WithSurrogate). stepMu serializes
+	// whole solver ticks (step + trajectory record) against what-if
+	// kernel fallbacks: solver.WhatIf rewinds state but is not atomic
+	// with respect to stepping, so a tick landing mid-round-trip would
+	// step hypothetical physics and corrupt the recorded trajectory.
+	surro  *surrogate.Model
+	stepMu sync.Mutex
+
 	mu      sync.Mutex
 	lastSeq map[string]uint32
 
@@ -108,6 +117,16 @@ func WithTelemetry(reg *telemetry.Registry, events *telemetry.EventLog) Option {
 // tracer the datagram and stepping paths are untouched.
 func WithTracer(t *causal.Tracer) Option {
 	return func(s *Server) { s.tracer = t }
+}
+
+// WithSurrogate attaches a fitted (or fitting) surrogate model over
+// the same solver: the stepping ticker records a trajectory sample
+// after every step, State grows a fit-quality section, the surrogate's
+// counters join the metrics registry, and Server.WhatIf serves
+// queries. The caller owns the model's fitting cadence (StartAutoFit)
+// and shutdown.
+func WithSurrogate(m *surrogate.Model) Option {
+	return func(s *Server) { s.surro = m }
 }
 
 // WithTempSampling tunes the temperature table: capacity samples
@@ -173,6 +192,16 @@ func (s *Server) registerMetrics() {
 	cf("mercury_solver_boundary_missed_total", "boundary barrier waits abandoned at the deadline", &s.stats.BoundaryMissed)
 	r.GaugeFunc("mercury_solver_energy_joules_total", "cluster-wide cumulative energy drawn",
 		func() float64 { return float64(s.sol.TotalEnergy()) })
+	if s.surro != nil {
+		sf := func(name, help string, fn func() uint64) {
+			r.CounterFunc(name, help, func() float64 { return float64(fn()) })
+		}
+		sf("mercury_surrogate_samples_total", "trajectory samples recorded for the surrogate", s.surro.SamplesTotal)
+		sf("mercury_surrogate_fits_total", "surrogate model fits completed", s.surro.FitsTotal)
+		sf("mercury_surrogate_queries_total", "surrogate what-if predictions attempted", s.surro.QueriesTotal)
+		sf("mercury_surrogate_declines_total", "surrogate predictions declined as invalid", s.surro.DeclinesTotal)
+		sf("mercury_surrogate_kernel_fallbacks_total", "declined what-ifs answered by the kernel", s.surro.KernelFallbacksTotal)
+	}
 
 	machines, nodes := s.sol.Probes()
 	probes := make([]telemetry.TempProbe, len(machines))
@@ -195,6 +224,29 @@ func (s *Server) Stats() *Stats { return &s.stats }
 
 // Solver returns the wrapped solver (for co-located stepping loops).
 func (s *Server) Solver() *solver.Solver { return s.sol }
+
+// Surrogate returns the attached surrogate model (nil without
+// WithSurrogate).
+func (s *Server) Surrogate() *surrogate.Model { return s.surro }
+
+// WhatIf answers a steady-state query from the surrogate in
+// microseconds; when the surrogate declines and the caller allows it,
+// the real kernel answers instead, serialized against the stepping
+// ticker so the snapshot/step/rewind round trip never interleaves with
+// a live tick. This is the handler behind the control plane's POST
+// /whatif.
+func (s *Server) WhatIf(q *surrogate.Query, fallback bool) (*surrogate.Answer, error) {
+	if s.surro == nil {
+		return nil, fmt.Errorf("solverd: no surrogate attached")
+	}
+	ans, err := s.surro.WhatIf(q, false)
+	if err != nil || ans.Valid || !fallback {
+		return ans, err
+	}
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	return s.surro.WhatIf(q, true)
+}
 
 // StartTicker advances the solver in clock time, one Step every
 // solver step interval, until Close. Offline/experiment use drives the
@@ -235,7 +287,12 @@ func (s *Server) StartTicker() {
 					if s.tracer != nil {
 						begin = s.tracer.Now()
 					}
+					s.stepMu.Lock()
 					s.stepFn()
+					if s.surro != nil {
+						s.surro.Record()
+					}
+					s.stepMu.Unlock()
 					n := s.stats.SolverSteps.Add(1)
 					if s.peers != nil {
 						s.publishBoundary(n)
@@ -504,6 +561,9 @@ type StateSnapshot struct {
 	Machines map[string]map[string]float64 `json:"machines"`
 	// Temps summarizes the sampled temperature rings (telemetry only).
 	Temps []telemetry.TempSummary `json:"temps,omitempty"`
+	// Surrogate reports fit quality of the fast what-if model, when one
+	// is attached.
+	Surrogate *surrogate.FitStats `json:"surrogate,omitempty"`
 }
 
 // State builds a point-in-time snapshot for the control plane. It
@@ -533,6 +593,10 @@ func (s *Server) State() StateSnapshot {
 	}
 	if s.temps != nil {
 		snap.Temps = s.temps.Summaries()
+	}
+	if s.surro != nil {
+		st := s.surro.Stats()
+		snap.Surrogate = &st
 	}
 	return snap
 }

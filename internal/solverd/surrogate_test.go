@@ -1,0 +1,108 @@
+package solverd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/surrogate"
+	"github.com/darklab/mercury/internal/telemetry"
+)
+
+// TestSurrogateWiring pins the daemon-side surrogate contract: the
+// stepping ticker records trajectory samples, /state grows a fit
+// section, the metrics registry exports the surrogate counters, and
+// Server.WhatIf answers from the kernel when the unfitted surrogate
+// declines.
+func TestSurrogateWiring(t *testing.T) {
+	c, err := model.DefaultCluster("room", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solver.New(c, solver.Config{Step: time.Second, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := surrogate.New(sol, surrogate.Config{Every: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual()
+	reg := telemetry.NewRegistry()
+	srv, err := Listen("127.0.0.1:0", sol, WithClock(clk), WithSurrogate(m), WithTelemetry(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	srv.StartTicker()
+
+	for i := 0; i < 5; i++ {
+		clk.Advance(time.Second)
+	}
+	waitFor(t, func() bool { return m.SamplesTotal() >= 5 })
+
+	snap := srv.State()
+	if snap.Surrogate == nil {
+		t.Fatal("State().Surrogate missing with a surrogate attached")
+	}
+	if snap.Surrogate.Samples < 5 {
+		t.Errorf("Surrogate.Samples = %d, want >= 5", snap.Surrogate.Samples)
+	}
+
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "mercury_surrogate_samples_total") {
+		t.Error("surrogate counters not exported to the metrics registry")
+	}
+
+	// Unfitted surrogate declines; without fallback the decline is the
+	// answer, with fallback the kernel fills in.
+	ans, err := srv.WhatIf(&surrogate.Query{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Valid || ans.Reason == "" {
+		t.Fatalf("unfitted surrogate answered %+v, want a decline", ans)
+	}
+	ans, err = srv.WhatIf(&surrogate.Query{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Valid || ans.Source != "kernel" {
+		t.Fatalf("fallback answer %+v, want valid kernel answer", ans)
+	}
+
+	// Name errors surface as ErrUnknown regardless of fallback.
+	var unknown *solver.ErrUnknown
+	if _, err := srv.WhatIf(&surrogate.Query{PowerOff: []string{"ghost"}}, true); !errors.As(err, &unknown) {
+		t.Fatalf("unknown machine error = %v, want ErrUnknown", err)
+	}
+}
+
+// TestWhatIfWithoutSurrogate: a daemon built without WithSurrogate
+// refuses what-if queries instead of panicking.
+func TestWhatIfWithoutSurrogate(t *testing.T) {
+	c, err := model.DefaultCluster("room", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solver.New(c, solver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Listen("127.0.0.1:0", sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if _, err := srv.WhatIf(&surrogate.Query{}, true); err == nil {
+		t.Fatal("WhatIf without a surrogate should error")
+	}
+}

@@ -25,6 +25,13 @@
 # utilization datagram versus sixteen 128-byte singles, so BENCH_*.json
 # also tracks the scale-out wire costs (docs/protocol.md).
 #
+# BenchmarkWhatIf compares the three steady-state what-if engines on a
+# 1000-machine room (surrogate / analytic SteadyState / kernel stepped
+# to convergence; docs/surrogate.md), so BENCH_*.json records the fast
+# path's speedup — the surrogate entry must stay >=100x faster than
+# both exact paths — and the record sub-benchmark's allocs/op pins the
+# trajectory-recording hot path at zero.
+#
 # Benchmarks run with -benchmem, so B/op and allocs/op land in each
 # entry's metrics; scripts/bench_diff.sh uses allocs/op to flag hot
 # paths that were allocation-free and have started allocating.

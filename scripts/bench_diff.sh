@@ -76,14 +76,22 @@ $1 in baseline {
         printf "::%s::%s throughput %.0f machine-steps/s is %.2fx the %s baseline (%.0f)\n",
             level, $1, $2, ratio, basefile, baseline[$1]
     }
+    next
+}
+{
+    # A benchmark with no baseline entry is new in this run: report it
+    # for the record but never gate on it — it gets a baseline the next
+    # time the committed BENCH file is refreshed.
+    newbench++
+    printf "%-60s %14s    %14.0f  (new; informational)\n", $1, "-", $2
 }
 END {
-    if (!compared) {
+    if (!compared && !newbench) {
         printf "::%s::no common machine-steps/s benchmarks between %s and the current run\n", level, basefile
         flagged++
     } else {
-        printf "%d benchmark(s) compared against %s, %d flagged at min-ratio %s\n",
-            compared, basefile, flagged + 0, minratio
+        printf "%d benchmark(s) compared against %s, %d new (informational), %d flagged at min-ratio %s\n",
+            compared + 0, basefile, newbench + 0, flagged + 0, minratio
     }
     exit flagged ? 3 : 0
 }
