@@ -9,6 +9,7 @@ package mercury_test
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -122,7 +123,10 @@ func BenchmarkScaleoutStep(b *testing.B) {
 		for _, wname := range tier.workers {
 			workers := 0
 			if wname != "auto" {
-				fmt.Sscanf(wname, "%d", &workers)
+				var err error
+				if workers, err = strconv.Atoi(wname); err != nil {
+					b.Fatalf("bad workers tier %q: %v", wname, err)
+				}
 			}
 			b.Run(fmt.Sprintf("machines=%d/workers=%s", n, wname), func(b *testing.B) {
 				s, err := solver.New(cluster(n), solver.Config{Workers: workers})

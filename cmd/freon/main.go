@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/darklab/mercury/internal/causal"
@@ -37,6 +38,7 @@ import (
 	"github.com/darklab/mercury/internal/freon"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/online"
+	"github.com/darklab/mercury/internal/recordlog"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/webcluster"
 )
@@ -52,6 +54,7 @@ func main() {
 		ctlAddr   = flag.String("ctl", "", "HTTP control-plane address, e.g. 127.0.0.1:9369 (/healthz /metrics /state /events; see docs/observability.md)")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
 		traceOn   = flag.Bool("trace-spans", false, "record causal spans for thermal emergencies; served at /spans on the -ctl address")
+		record    = flag.String("record", "", "flight-recorder directory: capture the run's events, spans, temps, and inputs for mercury-replay (see docs/recordlog.md)")
 	)
 	flag.Parse()
 	if *pprofOn && *ctlAddr == "" {
@@ -61,9 +64,9 @@ func main() {
 
 	var err error
 	if *onlineRun {
-		err = runOnline(*machines, *duration, *seed, *ctlAddr, *traceOn)
+		err = runOnline(*machines, *duration, *seed, *ctlAddr, *traceOn, *record)
 	} else {
-		err = run(*policy, *machines, *duration, *seed, *quiet, *ctlAddr, *pprofOn, *traceOn)
+		err = run(*policy, *machines, *duration, *seed, *quiet, *ctlAddr, *pprofOn, *traceOn, *record)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "freon:", err)
@@ -73,7 +76,7 @@ func main() {
 
 // runOnline drives the full daemon stack over loopback UDP in
 // deterministic lockstep and prints the Figure 11 summary.
-func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string, traceOn bool) error {
+func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string, traceOn bool, record string) error {
 	start := time.Now()
 	res, err := online.Run(online.Config{
 		Machines: machines,
@@ -82,6 +85,7 @@ func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string,
 		Script:   online.Fig11Script,
 		CtlAddr:  ctlAddr,
 		Trace:    traceOn,
+		Record:   record,
 	})
 	if err != nil {
 		return err
@@ -108,10 +112,14 @@ func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string,
 		}
 		fmt.Printf("causal spans: %d (%d emergency traces)\n", len(res.Spans), len(traces))
 	}
+	if res.RecordPath != "" {
+		fmt.Printf("recorded to %s (%d drops); verify with: mercury-replay -log %s\n",
+			res.RecordPath, res.RecordDrops, res.RecordPath)
+	}
 	return nil
 }
 
-func run(policy string, machines int, duration time.Duration, seed int64, quiet bool, ctlAddr string, pprofOn, traceOn bool) error {
+func run(policy string, machines int, duration time.Duration, seed int64, quiet bool, ctlAddr string, pprofOn, traceOn bool, record string) error {
 	sim, err := experiments.NewSim(machines, seed, duration)
 	if err != nil {
 		return err
@@ -128,14 +136,33 @@ fiddle machine3 temperature inlet 35.6
 	sim.Fiddle = script.Schedule()
 
 	// The control plane, when requested, shares the sim's virtual
-	// clock so event timestamps land on emulated time.
+	// clock so event timestamps land on emulated time. The flight
+	// recorder needs both feeds to exist even without -ctl/-trace-spans.
 	var events *telemetry.EventLog
-	if ctlAddr != "" {
+	if ctlAddr != "" || record != "" {
 		events = telemetry.NewEventLog(0, sim.Clock)
 	}
 	var tracer *causal.Tracer
-	if traceOn {
+	if traceOn || record != "" {
 		tracer = causal.NewTracer(0, sim.Clock)
+	}
+	if record != "" {
+		if err := os.MkdirAll(record, 0o755); err != nil {
+			return err
+		}
+		rec, err := recordlog.Create(filepath.Join(record, "freon.mrl"), "freon", sim.Clock)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			rec.Close()
+			if d := rec.Drops(); d > 0 {
+				fmt.Fprintf(os.Stderr, "freon: flight recorder dropped %d records\n", d)
+			}
+			fmt.Printf("recorded to %s\n", rec.Path())
+		}()
+		events.SetSink(rec.RecordEvent)
+		tracer.SetSink(rec.RecordSpan)
 	}
 
 	var activeFn func() int

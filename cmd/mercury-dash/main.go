@@ -45,20 +45,29 @@ func main() {
 		poll        = flag.Duration("poll", 2*time.Second, "span/state/metrics polling period")
 		pprofFlag   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		once        = flag.Bool("once", false, "poll every target once, print the aggregate state, and exit")
+		backfill    = flag.String("backfill", "", "flight-recorder directory: load historical events/spans from its *.mrl captures before subscribing live (see docs/recordlog.md); target names must match the recorded node IDs for seamless handoff")
 	)
 	flag.Parse()
-	if err := run(*targetsFlag, *listen, *poll, *pprofFlag, *once); err != nil {
+	if err := run(*targetsFlag, *listen, *poll, *pprofFlag, *once, *backfill); err != nil {
 		fmt.Fprintln(os.Stderr, "mercury-dash:", err)
 		os.Exit(1)
 	}
 }
 
-func run(targetsFlag, listen string, poll time.Duration, withPprof, once bool) error {
+func run(targetsFlag, listen string, poll time.Duration, withPprof, once bool, backfill string) error {
 	targets, err := dash.ParseTargets(targetsFlag)
 	if err != nil {
 		return err
 	}
 	a := dash.New(targets, telemetry.NewRegistry())
+	if backfill != "" {
+		st, err := a.Backfill(backfill)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mercury-dash: backfilled %d events and %d spans from %d capture(s) in %s\n",
+			st.Events, st.Spans, st.Files, backfill)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

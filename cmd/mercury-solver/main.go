@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -41,6 +42,7 @@ import (
 	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/dotlang"
 	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/recordlog"
 	"github.com/darklab/mercury/internal/solver"
 	"github.com/darklab/mercury/internal/solverd"
 	"github.com/darklab/mercury/internal/surrogate"
@@ -82,6 +84,7 @@ type runConfig struct {
 	workers    int
 	tracePath  string
 	outPath    string
+	record     string
 	sample     time.Duration
 	loadState  string
 	saveState  string
@@ -109,6 +112,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "stepping goroutines: 0 = auto (one per CPU, serial below ~256 machines/worker), 1 = serial, N = exactly N shards")
 	flag.StringVar(&cfg.tracePath, "trace", "", "utilization trace: run off-line instead of serving UDP")
 	flag.StringVar(&cfg.outPath, "out", "", "temperature log output for off-line mode (default stdout)")
+	flag.StringVar(&cfg.record, "record", "", "flight-recorder directory for on-line mode: capture utils, fiddles, temps (and, with -ctl/-trace-spans, events and spans) to <dir>/<node>.mrl for mercury-replay (see docs/recordlog.md)")
 	flag.DurationVar(&cfg.sample, "sample", 10*time.Second, "off-line probe sampling interval")
 	flag.StringVar(&cfg.loadState, "load-state", "", "solver state checkpoint to restore before starting")
 	flag.StringVar(&cfg.saveState, "save-state", "", "write a state checkpoint here on SIGINT/SIGTERM (on-line mode)")
@@ -250,6 +254,36 @@ func run(cfg runConfig) error {
 	if cfg.traceSpans {
 		tracer = causal.NewTracer(0, clk)
 		opts = append(opts, solverd.WithTracer(tracer))
+	}
+	// Flight recorder: everything solverd applies (utils, fiddles,
+	// boundary imports) plus whatever telemetry exists goes to a durable
+	// .mrl file that mercury-replay can re-drive (docs/recordlog.md).
+	if cfg.record != "" {
+		node := "solver"
+		if cfg.regions > 1 {
+			node = fmt.Sprintf("solver-r%d", cfg.region)
+		}
+		if err := os.MkdirAll(cfg.record, 0o755); err != nil {
+			return err
+		}
+		rec, err := recordlog.Create(filepath.Join(cfg.record, node+".mrl"), node, clk)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			rec.Close()
+			if d := rec.Drops(); d > 0 {
+				fmt.Fprintf(os.Stderr, "mercury-solver: flight recorder dropped %d records (disk slower than the tick loop)\n", d)
+			}
+			fmt.Printf("mercury-solver: recorded to %s\n", rec.Path())
+		}()
+		opts = append(opts, solverd.WithRecorder(rec))
+		if events != nil {
+			events.SetSink(rec.RecordEvent)
+		}
+		if tracer != nil {
+			tracer.SetSink(rec.RecordSpan)
+		}
 	}
 	// The surrogate fast path rides the control plane: with -ctl set on
 	// an unpartitioned run, the stepping ticker records trajectory

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/monitord"
 	"github.com/darklab/mercury/internal/procfs"
+	"github.com/darklab/mercury/internal/recordlog"
 	"github.com/darklab/mercury/internal/telemetry"
 	"github.com/darklab/mercury/internal/units"
 )
@@ -51,6 +53,7 @@ func main() {
 		ctlAddr  = flag.String("ctl", "", "HTTP control-plane address, e.g. 127.0.0.1:9368 (/healthz /metrics /state; see docs/observability.md)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
 		traceOn  = flag.Bool("trace-spans", false, "record causal sample spans and serve them at /spans on the -ctl address")
+		record   = flag.String("record", "", "flight-recorder directory: capture this daemon's causal spans (requires -trace-spans) to <dir>/monitord-<machine>.mrl (see docs/recordlog.md)")
 	)
 	flag.Parse()
 	if *machine == "" {
@@ -92,6 +95,31 @@ func main() {
 			tclk = clock.Real{}
 		}
 		tracer = causal.NewTracer(0, tclk)
+	}
+	// Flight recorder: monitord's only recordable stream is its causal
+	// sample spans, so -record rides on -trace-spans.
+	if *record != "" {
+		if tracer == nil {
+			fmt.Fprintln(os.Stderr, "monitord: -record requires -trace-spans")
+			os.Exit(2)
+		}
+		node := "monitord-" + *machine
+		if err := os.MkdirAll(*record, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "monitord:", err)
+			os.Exit(1)
+		}
+		rec, err := recordlog.Create(filepath.Join(*record, node+".mrl"), node, clk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monitord:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			rec.Close()
+			if d := rec.Drops(); d > 0 {
+				fmt.Fprintf(os.Stderr, "monitord: flight recorder dropped %d records\n", d)
+			}
+		}()
+		tracer.SetSink(rec.RecordSpan)
 	}
 	d, err := monitord.New(monitord.Config{
 		Machine:    *machine,

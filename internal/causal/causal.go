@@ -188,6 +188,7 @@ type Tracer struct {
 	next int    // ring slot for the next span
 	n    int    // spans currently retained
 	seq  uint64 // total spans ever emitted
+	sink func(Span)
 }
 
 // NewTracer returns a tracer retaining the last capacity spans,
@@ -246,8 +247,25 @@ func (t *Tracer) Emit(s Span) uint64 {
 	if t.n < len(t.ring) {
 		t.n++
 	}
+	if t.sink != nil {
+		t.sink(s)
+	}
 	t.mu.Unlock()
 	return s.ID
+}
+
+// SetSink installs a function called once per emitted span, after Seq
+// and ID are assigned, under the tracer's lock so the sink observes
+// strict sequence order. The flight recorder (internal/recordlog)
+// hangs its durable capture here; the sink must never block. No-op on
+// a disabled (nil) tracer. Pass nil to detach.
+func (t *Tracer) SetSink(sink func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = sink
+	t.mu.Unlock()
 }
 
 // Seq returns the sequence number of the most recent span (0 when none

@@ -1,0 +1,148 @@
+package dash
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/causal"
+	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/ctl"
+	"github.com/darklab/mercury/internal/recordlog"
+	"github.com/darklab/mercury/internal/telemetry"
+)
+
+// TestBackfillHandoff pins the cold-start story: a dash that loads a
+// flight-recorder capture seeds its per-target seq high-water marks
+// from the recorded events and spans, so the live ?from= poll and SSE
+// subscription resume exactly where the capture ended — every record
+// ingested once, none dropped (docs/recordlog.md).
+func TestBackfillHandoff(t *testing.T) {
+	clk := clock.NewVirtual()
+	log := telemetry.NewEventLog(64, clk)
+	tr := causal.NewTracer(64, clk)
+
+	// First half of the run is captured, as solverd -record would do it:
+	// sinks on both feeds.
+	dir := t.TempDir()
+	w, err := recordlog.Create(filepath.Join(dir, "solverd.mrl"), "solverd", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.SetSink(w.RecordEvent)
+	tr.SetSink(w.RecordSpan)
+
+	clk.Advance(10 * time.Second)
+	log.Emit(telemetry.EvEmergencyRaised, "machine1", "cpu", 67.5, "")
+	root := causal.Span{
+		Trace: tr.NewTrace("machine1"), Kind: causal.KindEmergency,
+		Begin: tr.Now(), End: tr.Now(), Machine: "machine1", Node: "cpu", Value: 67.5,
+	}
+	root.ID = tr.Emit(root)
+	clk.Advance(time.Second)
+	log.Emit(telemetry.EvPDOutput, "machine1", "", 0.6, "cpu")
+	tr.Emit(causal.Span{
+		Trace: root.Trace, Parent: root.ID, Kind: causal.KindWeight,
+		Begin: tr.Now(), End: tr.Now(), Machine: "machine1", Value: 0.55,
+	})
+
+	// The capture stops (recorder restarted, say) but the daemon keeps
+	// running: what follows lives only in the RAM rings.
+	log.SetSink(nil)
+	tr.SetSink(nil)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	log.Emit(telemetry.EvWeightChange, "machine1", "", 0.55, "")
+	clk.Advance(120 * time.Second)
+	log.Emit(telemetry.EvRelease, "machine1", "", 0, "")
+	tr.Emit(causal.Span{
+		Trace: root.Trace, Parent: root.ID, Kind: causal.KindRecovery,
+		Begin: tr.Now(), End: tr.Now(), Machine: "machine1",
+	})
+
+	// A live control plane over the same rings; the target is named
+	// after the recorded node so the handoff engages.
+	srv := ctl.New(ctl.WithEvents(log), ctl.WithTracer(tr))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	a := New([]Target{{Name: "solverd", URL: "http://" + addr}}, nil)
+
+	st, err := a.Backfill(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 1 || st.Events != 2 || st.Spans != 2 {
+		t.Fatalf("backfill stats = %+v, want 1 file, 2 events, 2 spans", st)
+	}
+	a.mu.Lock()
+	eseen, sseen := a.eventSeen["solverd"], a.spanSeen["solverd"]
+	a.mu.Unlock()
+	if eseen != 2 || sseen != 2 {
+		t.Fatalf("seq high-water marks after backfill = %d/%d, want 2/2", eseen, sseen)
+	}
+
+	// Live poll: exactly the post-capture records join. Contiguous seqs
+	// 1..4 prove nothing was duplicated or dropped across the handoff.
+	if err := a.PollOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	checkEvents := func(want int) []telemetry.Event {
+		t.Helper()
+		a.mu.Lock()
+		evs := append([]telemetry.Event(nil), a.events["solverd"]...)
+		a.mu.Unlock()
+		if len(evs) != want {
+			t.Fatalf("ingested %d events, want %d: %v", len(evs), want, evs)
+		}
+		for i := range evs {
+			if evs[i].Seq != uint64(i+1) {
+				t.Fatalf("event seqs not contiguous after handoff (dup or drop): %v", evs)
+			}
+		}
+		return evs
+	}
+	checkEvents(4)
+	a.mu.Lock()
+	nspans := len(a.spans)
+	a.mu.Unlock()
+	if nspans != 3 {
+		t.Fatalf("ingested %d spans, want 3 (2 backfilled + 1 live)", nspans)
+	}
+
+	// The SSE subscription resumes from the same mark: one more live
+	// emit arrives exactly once.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a.Stream(ctx)
+	time.Sleep(100 * time.Millisecond)
+	clk.Advance(time.Second)
+	log.Emit(telemetry.EvPDOutput, "machine2", "", 0.3, "")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a.mu.Lock()
+		n := len(a.events["solverd"])
+		a.mu.Unlock()
+		if n >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("live SSE event never arrived after backfill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	checkEvents(5)
+}
+
+// TestBackfillEmptyDir pins the error on a directory with no captures.
+func TestBackfillEmptyDir(t *testing.T) {
+	a := New([]Target{{Name: "x", URL: "http://127.0.0.1:1"}}, nil)
+	if _, err := a.Backfill(t.TempDir()); err == nil {
+		t.Fatal("backfill of an empty directory: want error")
+	}
+}

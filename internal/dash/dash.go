@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"github.com/darklab/mercury/internal/causal"
+	"github.com/darklab/mercury/internal/recordlog"
 	"github.com/darklab/mercury/internal/telemetry"
 )
 
@@ -198,6 +200,50 @@ func (a *Aggregator) Registry() *telemetry.Registry { return a.reg }
 
 // Targets returns the configured targets.
 func (a *Aggregator) Targets() []Target { return append([]Target(nil), a.targets...) }
+
+// BackfillStats summarizes one historical load.
+type BackfillStats struct {
+	Files    int
+	Events   int
+	Spans    int
+	TempRows int
+}
+
+// Backfill loads every flight-recorder capture (*.mrl, see
+// docs/recordlog.md) in dir into the aggregator before the live
+// subscriptions start, so a cold-started dash is not blind to history
+// the daemons' RAM rings have already wrapped past. Each file's
+// events and spans are ingested under the node name recorded in its
+// header, and — because ingestion runs through the same per-source
+// seq high-water marks the live paths use — a subsequent
+// /events?from= or /spans?from= subscription against a target with
+// that name resumes exactly where the capture ended: no duplicates,
+// no dropped records. Name live -targets after the daemons' node IDs
+// for the handoff to engage.
+func (a *Aggregator) Backfill(dir string) (BackfillStats, error) {
+	var st BackfillStats
+	matches, err := filepath.Glob(filepath.Join(dir, "*.mrl"))
+	if err != nil {
+		return st, err
+	}
+	if len(matches) == 0 {
+		return st, fmt.Errorf("dash: no .mrl captures in %s", dir)
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		log, err := recordlog.ReadLog(path)
+		if err != nil {
+			return st, fmt.Errorf("dash: backfill %s: %w", path, err)
+		}
+		a.addEvents(log.Header.Node, log.Events)
+		a.AddSpans(log.Header.Node, log.Spans)
+		st.Files++
+		st.Events += len(log.Events)
+		st.Spans += len(log.Spans)
+		st.TempRows += len(log.TempRows)
+	}
+	return st, nil
+}
 
 // PollOnce fetches every target's spans, state, and metrics once, and
 // — for targets whose SSE stream is not running — their retained

@@ -171,8 +171,8 @@ func TestECSavesEnergyVersusBase(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 12 {
-		t.Errorf("registered experiments = %d, want 12", len(names))
+	if len(names) != 13 {
+		t.Errorf("registered experiments = %d, want 13", len(names))
 	}
 	for _, e := range All() {
 		if e.Name == "" || e.Description == "" || e.Run == nil {
@@ -217,6 +217,25 @@ func TestMultiTierShape(t *testing.T) {
 	}
 	if r.Metrics["backend_jobs"] == 0 {
 		t.Error("no backend jobs issued")
+	}
+}
+
+func TestReplayScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records and replays a 600s online run; skipped in -short")
+	}
+	r := run(t, ReplayRecorded)
+	if r.Metrics["mismatches"] != 0 {
+		t.Errorf("replay mismatches = %v, want 0", r.Metrics["mismatches"])
+	}
+	if r.Metrics["steps"] != replayDuration.Seconds() {
+		t.Errorf("replayed steps = %v, want %v", r.Metrics["steps"], replayDuration.Seconds())
+	}
+	if r.Metrics["fiddles_applied"] == 0 {
+		t.Error("no fiddle ops in the capture; the t=480s emergencies should be recorded")
+	}
+	if r.Metrics["record_drops"] != 0 {
+		t.Errorf("recorder dropped %v records during a healthy run", r.Metrics["record_drops"])
 	}
 }
 

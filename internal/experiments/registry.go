@@ -27,6 +27,7 @@ func All() []Experiment {
 		{"fig12", "Figure 12: Freon-EC combining energy conservation and thermal management", Fig12},
 		{"recirc", "Extension: top-of-rack hot spots from intra-rack air recirculation", Recirc},
 		{"multitier", "Extension: per-tier Freon managing a two-tier service under a backend emergency", MultiTier},
+		{"replay", "Regression: online Fig 11 run captured by the flight recorder, replayed bit-identical at warp speed", ReplayRecorded},
 	}
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/online"
+	"github.com/darklab/mercury/internal/recordlog"
+)
+
+// replayDuration is long enough to include the t=480s inlet
+// emergencies, so the capture carries fiddle ops and the thermal
+// events they trigger, not just the steady util stream.
+const replayDuration = 600 * time.Second
+
+// ReplayRecorded is the flight-recorder regression scenario
+// (docs/recordlog.md): run the online Figure 11 rig with a recorder
+// attached, then re-drive a fresh solver from the capture on the
+// virtual clock and demand bit-identical temperatures and events. Any
+// drift anywhere in the capture → decode → replay pipeline — a lost
+// input, a rounding change, a reordered apply — shows up as a
+// mismatch and fails the scenario.
+func ReplayRecorded() (*Result, error) {
+	dir, err := os.MkdirTemp("", "mercury-replay")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	res, err := online.Run(online.Config{
+		Duration: replayDuration,
+		Script:   online.Fig11Script,
+		Record:   dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	log, err := recordlog.ReadLog(res.RecordPath)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := model.DefaultCluster("room", 4)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := recordlog.Replay(log, cm, recordlog.ReplayConfig{})
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	if !rep.Identical() {
+		return nil, fmt.Errorf("replay diverged from the recording: %d mismatches, first: %v",
+			rep.MismatchCount(), rep.Mismatches)
+	}
+
+	return &Result{
+		Name: "replay",
+		Summary: fmt.Sprintf(
+			"Recorded %v online Fig 11 run (%d events, %d temp rows, %d inputs, %d drops) "+
+				"replayed bit-identical in %v: %d steps, %d/%d rows and %d/%d events matched.",
+			replayDuration, len(log.Events), len(log.TempRows), len(log.Inputs), res.RecordDrops,
+			wall.Round(time.Millisecond), rep.Steps,
+			rep.RowsMatched, rep.RowsCompared, rep.EventsMatched, rep.EventsCompared),
+		Metrics: map[string]float64{
+			"steps":           float64(rep.Steps),
+			"rows_compared":   float64(rep.RowsCompared),
+			"rows_matched":    float64(rep.RowsMatched),
+			"events_compared": float64(rep.EventsCompared),
+			"events_matched":  float64(rep.EventsMatched),
+			"utils_applied":   float64(rep.UtilsApplied),
+			"fiddles_applied": float64(rep.FiddlesApplied),
+			"mismatches":      float64(rep.MismatchCount()),
+			"record_drops":    float64(res.RecordDrops),
+		},
+	}, nil
+}

@@ -21,6 +21,8 @@ package online
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -33,6 +35,7 @@ import (
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/monitord"
 	"github.com/darklab/mercury/internal/procfs"
+	"github.com/darklab/mercury/internal/recordlog"
 	"github.com/darklab/mercury/internal/sensor"
 	"github.com/darklab/mercury/internal/solver"
 	"github.com/darklab/mercury/internal/solverd"
@@ -108,6 +111,13 @@ type Config struct {
 	// its region's inputs, so a local fit cannot answer room-wide
 	// questions.
 	Surrogate bool
+	// Record, when non-empty, is a directory receiving a durable
+	// binary flight-recorder capture of the run
+	// (<Record>/online.mrl): every event, span, sampled temperature
+	// row, applied utilization update, and fiddle op, replayable at
+	// warp speed by cmd/mercury-replay (see docs/recordlog.md).
+	// Single-shard runs only. Result.RecordPath reports the file.
+	Record string
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +184,11 @@ type Result struct {
 	// Surrogate reports the what-if surrogate's counters (nil unless
 	// Config.Surrogate).
 	Surrogate *surrogate.FitStats
+	// RecordPath is the flight-recorder file written when
+	// Config.Record is set; RecordDrops counts records lost to a full
+	// recorder ring (0 on a healthy capture).
+	RecordPath  string
+	RecordDrops uint64
 	// CtlAddr is the control plane's bound address ("" when disabled).
 	CtlAddr string
 }
@@ -195,6 +210,27 @@ func Run(cfg Config) (*Result, error) {
 		// emulated second plus the emergency traffic — fits without the
 		// ring dropping anything.
 		tracer = causal.NewTracer(1<<15, clk)
+	}
+
+	// Durable capture: the writer is created before the clock first
+	// advances, so its header epoch is virtual t=0 and every stamp in
+	// the file lines up with the event log and tracer.
+	var rec *recordlog.Writer
+	if cfg.Record != "" {
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("online: Record requires a single shard, got %d", cfg.Shards)
+		}
+		if err := os.MkdirAll(cfg.Record, 0o755); err != nil {
+			return nil, fmt.Errorf("online: record dir: %w", err)
+		}
+		w, err := recordlog.Create(filepath.Join(cfg.Record, "online.mrl"), "online", clk)
+		if err != nil {
+			return nil, fmt.Errorf("online: record: %w", err)
+		}
+		rec = w
+		defer rec.Close()
+		events.SetSink(rec.RecordEvent)
+		tracer.SetSink(rec.RecordSpan)
 	}
 
 	// Thermal model + solvers behind the UDP daemons: one solverd owns
@@ -242,6 +278,9 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			solverOpts = append(solverOpts, solverd.WithSurrogate(surro))
+		}
+		if rec != nil && i == 0 {
+			solverOpts = append(solverOpts, solverd.WithRecorder(rec))
 		}
 		if servers[i], err = solverd.Listen("127.0.0.1:0", sol, solverOpts...); err != nil {
 			return nil, err
@@ -605,6 +644,15 @@ func Run(cfg Config) (*Result, error) {
 	if surro != nil {
 		st := surro.Stats()
 		res.Surrogate = &st
+	}
+	if rec != nil {
+		// All emitters are quiescent (runner drained, no further clock
+		// advances), so Close flushes a complete capture.
+		if err := rec.Close(); err != nil {
+			return nil, fmt.Errorf("online: flight recorder: %w", err)
+		}
+		res.RecordPath = rec.Path()
+		res.RecordDrops = rec.Drops()
 	}
 	res.CtlAddr = ctlAddr
 	return res, nil

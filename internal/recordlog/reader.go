@@ -1,0 +1,324 @@
+package recordlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"github.com/darklab/mercury/internal/causal"
+	"github.com/darklab/mercury/internal/telemetry"
+)
+
+// ErrTruncated marks a file that ends mid-frame — the normal tail
+// state of a log whose writer was killed (or is still running).
+// Matched by errors.Is on the *TruncatedError returned from Next.
+var ErrTruncated = errors.New("recordlog: truncated record at end of file")
+
+// TruncatedError reports a frame cut off by end-of-file.
+type TruncatedError struct {
+	Offset int64 // file offset of the truncated frame
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("recordlog: truncated record at offset %d", e.Offset)
+}
+
+func (e *TruncatedError) Is(target error) bool { return target == ErrTruncated }
+
+// CorruptError reports mid-file corruption: a CRC mismatch or a
+// payload that fails bounds checks. Unlike a truncated tail this is
+// fatal — framing can no longer be trusted.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("recordlog: corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Header is the decoded file header.
+type Header struct {
+	Version byte
+	Flags   byte
+	Epoch   time.Time
+	Node    string
+}
+
+// Virtual reports whether the file was recorded on the deterministic
+// virtual clock.
+func (h Header) Virtual() bool { return h.Flags&FlagVirtualClock != 0 }
+
+// Record is any decoded record. The concrete types are
+// *FormatRecord, *causal.Span (via SpanRecord), etc. — switch on the
+// wrapper types below.
+type Record interface{ rec() }
+
+// SpanRecord wraps a decoded causal span.
+type SpanRecord struct{ Span causal.Span }
+
+// EventRecord wraps a decoded telemetry event.
+type EventRecord struct{ Event telemetry.Event }
+
+func (*FormatRecord) rec()   {}
+func (*SpanRecord) rec()     {}
+func (*EventRecord) rec()    {}
+func (*ProbeRecord) rec()    {}
+func (*TempChunk) rec()      {}
+func (*UtilRecord) rec()     {}
+func (*FiddleRecord) rec()   {}
+func (*BoundaryRecord) rec() {}
+func (*MetaRecord) rec()     {}
+
+// Reader streams records from one flight-recorder file. Decode
+// errors are strict: a truncated tail returns *TruncatedError
+// (tolerated by ReadLog), anything else mid-file returns
+// *CorruptError with the offending offset. Records of unknown type
+// with a valid CRC are skipped and counted.
+type Reader struct {
+	br      *bufio.Reader
+	off     int64
+	hdr     Header
+	skipped uint64
+	scratch []byte
+}
+
+// NewReader reads the header from r and returns a Reader positioned
+// at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	rd := &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	var hdr [headerSize]byte
+	n, err := io.ReadFull(rd.br, hdr[:])
+	rd.off = int64(n)
+	if err != nil {
+		return nil, fmt.Errorf("recordlog: short header: %w", err)
+	}
+	if string(hdr[0:8]) != Magic {
+		return nil, fmt.Errorf("recordlog: bad magic %q", hdr[0:8])
+	}
+	if hdr[8] > Version {
+		return nil, fmt.Errorf("recordlog: unsupported version %d (reader speaks %d)", hdr[8], Version)
+	}
+	rd.hdr = Header{
+		Version: hdr[8],
+		Flags:   hdr[9],
+		Epoch:   time.Unix(0, int64(binary.BigEndian.Uint64(hdr[12:]))),
+		Node:    getStr(hdr[20 : 20+nodeLen]),
+	}
+	return rd, nil
+}
+
+// Header returns the decoded file header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Skipped returns the number of valid records of unknown type
+// skipped so far.
+func (r *Reader) Skipped() uint64 { return r.skipped }
+
+// Offset returns the file offset of the next unread byte.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Next returns the next decoded record. io.EOF marks a clean end of
+// file; *TruncatedError a frame cut off by EOF; *CorruptError
+// unrecoverable mid-file damage. Unknown record types with valid
+// CRCs are skipped transparently.
+func (r *Reader) Next() (Record, error) {
+	for {
+		start := r.off
+		var hdr [3]byte
+		if _, err := io.ReadFull(r.br, hdr[:1]); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, &TruncatedError{Offset: start}
+		}
+		if _, err := io.ReadFull(r.br, hdr[1:]); err != nil {
+			return nil, &TruncatedError{Offset: start}
+		}
+		typ := hdr[0]
+		plen := int(binary.BigEndian.Uint16(hdr[1:]))
+		if cap(r.scratch) < plen+4 {
+			r.scratch = make([]byte, plen+4)
+		}
+		body := r.scratch[:plen+4]
+		if _, err := io.ReadFull(r.br, body); err != nil {
+			return nil, &TruncatedError{Offset: start}
+		}
+		r.off = start + int64(frameOverhead+plen)
+		payload := body[:plen]
+		want := binary.BigEndian.Uint32(body[plen:])
+		crc := crc32.Update(0, crcTable, hdr[:])
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != want {
+			return nil, &CorruptError{Offset: start, Reason: fmt.Sprintf("crc mismatch (got %08x want %08x)", crc, want)}
+		}
+		rec, known, ok := decodeRecord(typ, payload)
+		if !known {
+			r.skipped++
+			continue
+		}
+		if !ok {
+			return nil, &CorruptError{Offset: start, Reason: fmt.Sprintf("record type 0x%02x payload %d bytes fails bounds check", typ, plen)}
+		}
+		return rec, nil
+	}
+}
+
+// decodeRecord decodes one CRC-valid payload. known is false for
+// record types this reader does not understand (forward compat); ok
+// is false when a known type's payload is too short or fails bounds
+// checks. Payloads longer than the known fixed size are accepted and
+// decoded by prefix, so record types can grow fields.
+func decodeRecord(typ byte, payload []byte) (rec Record, known, ok bool) {
+	size := 0
+	switch typ {
+	case RecFormat:
+		size = recFormatSize
+	case RecSpan:
+		size = recSpanSize
+	case RecEvent:
+		size = recEventSize
+	case RecProbe:
+		size = recProbeSize
+	case RecTempRow:
+		size = recTempRowSize
+	case RecUtil:
+		size = recUtilSize
+	case RecFiddle:
+		size = recFiddleSize
+	case RecBoundary:
+		size = recBoundarySize
+	case RecMeta:
+		size = recMetaSize
+	default:
+		return nil, false, false
+	}
+	if len(payload) < size {
+		return nil, true, false
+	}
+	switch typ {
+	case RecFormat:
+		f := decodeFormat(payload)
+		return &f, true, true
+	case RecSpan:
+		return &SpanRecord{Span: decodeSpan(payload)}, true, true
+	case RecEvent:
+		return &EventRecord{Event: decodeEvent(payload)}, true, true
+	case RecProbe:
+		p := decodeProbe(payload)
+		return &p, true, true
+	case RecTempRow:
+		c, ok := decodeTempChunk(payload)
+		return &c, true, ok
+	case RecUtil:
+		u, ok := decodeUtil(payload)
+		return &u, true, ok
+	case RecFiddle:
+		f, ok := decodeFiddle(payload)
+		return &f, true, ok
+	case RecBoundary:
+		b, ok := decodeBoundary(payload)
+		return &b, true, ok
+	default: // RecMeta
+		m := decodeMeta(payload)
+		return &m, true, true
+	}
+}
+
+// Input is one recorded solver input in file order: exactly one of
+// Util or Fiddle is set. Tick is the solver step count at apply time;
+// replay applies the input before stepping tick Tick+1.
+type Input struct {
+	Tick   uint64
+	At     time.Duration
+	Util   *UtilRecord
+	Fiddle *FiddleRecord
+}
+
+// TempRow is one reassembled temperature column: every probe at At.
+type TempRow struct {
+	At    time.Duration
+	Temps []float64
+}
+
+// Log is a fully-decoded flight-recorder file.
+type Log struct {
+	Header    Header
+	Formats   []FormatRecord
+	Step      time.Duration // from RecMeta; 0 if absent
+	Machines  int
+	Probes    []telemetry.TempProbe
+	Events    []telemetry.Event
+	Spans     []causal.Span
+	TempRows  []TempRow
+	Inputs    []Input // utils + fiddles, file order preserved
+	Boundary  []BoundaryRecord
+	Truncated bool // file ended mid-frame (writer killed or live)
+	Skipped   uint64
+}
+
+// ReadLog decodes an entire file. A truncated tail is tolerated
+// (Log.Truncated is set); corruption is returned as *CorruptError.
+func ReadLog(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	log := &Log{Header: r.Header()}
+	var row *TempRow
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, ErrTruncated) {
+				log.Truncated = true
+				break
+			}
+			return nil, err
+		}
+		switch v := rec.(type) {
+		case *FormatRecord:
+			log.Formats = append(log.Formats, *v)
+		case *MetaRecord:
+			log.Step = v.Step
+			log.Machines = v.Machines
+		case *ProbeRecord:
+			for len(log.Probes) <= v.Index {
+				log.Probes = append(log.Probes, telemetry.TempProbe{})
+			}
+			log.Probes[v.Index] = telemetry.TempProbe{Machine: v.Machine, Node: v.Node}
+		case *EventRecord:
+			log.Events = append(log.Events, v.Event)
+		case *SpanRecord:
+			log.Spans = append(log.Spans, v.Span)
+		case *TempChunk:
+			// Chunks of one column share a timestamp and arrive in
+			// order; reassemble them into a full row.
+			if v.First == 0 || row == nil || row.At != v.At || len(row.Temps) != v.First {
+				log.TempRows = append(log.TempRows, TempRow{At: v.At})
+				row = &log.TempRows[len(log.TempRows)-1]
+			}
+			row.Temps = append(row.Temps, v.Temps...)
+		case *UtilRecord:
+			log.Inputs = append(log.Inputs, Input{Tick: v.Tick, At: v.At, Util: v})
+		case *FiddleRecord:
+			log.Inputs = append(log.Inputs, Input{Tick: v.Tick, At: v.At, Fiddle: v})
+		case *BoundaryRecord:
+			log.Boundary = append(log.Boundary, *v)
+		}
+	}
+	log.Skipped = r.Skipped()
+	return log, nil
+}

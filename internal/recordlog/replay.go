@@ -1,0 +1,209 @@
+package recordlog
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/fiddle"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/telemetry"
+	"github.com/darklab/mercury/internal/wire"
+)
+
+// ReplayConfig tunes Replay.
+type ReplayConfig struct {
+	// Workers is passed to solver.Config; temperatures are
+	// bit-identical at every worker count.
+	Workers int
+	// MaxMismatches caps the diagnostics collected before replay
+	// keeps counting silently. Default 20.
+	MaxMismatches int
+}
+
+// ReplayResult summarizes one replay against its recording.
+type ReplayResult struct {
+	Steps          uint64
+	UtilsApplied   int
+	FiddlesApplied int
+	RowsCompared   int
+	RowsMatched    int
+	EventsCompared int
+	EventsMatched  int
+	Mismatches     []string // first MaxMismatches diagnostics
+	mismatchTotal  int
+	// Events is the replayed event stream (fiddle applications).
+	Events []telemetry.Event
+}
+
+// Identical reports a bit-perfect replay: every recorded temperature
+// row and every replayed event matched.
+func (r *ReplayResult) Identical() bool { return r.mismatchTotal == 0 }
+
+// MismatchCount returns the total number of mismatches (including
+// those beyond the Mismatches cap).
+func (r *ReplayResult) MismatchCount() int { return r.mismatchTotal }
+
+func (r *ReplayResult) mismatch(format string, args ...any) {
+	r.mismatchTotal++
+	if len(r.Mismatches) < cap(r.Mismatches) {
+		r.Mismatches = append(r.Mismatches, fmt.Sprintf(format, args...))
+	}
+}
+
+// Replay re-drives a fresh solver through a recorded run on the
+// virtual clock: every recorded utilization update and fiddle op is
+// applied before the solver steps the tick it influenced, and every
+// recorded temperature row is compared bitwise against the replayed
+// solver's probe column. cm must be the same cluster model the
+// recording ran against (the caller rebuilds it from the same config
+// and seed; Replay cross-checks machine count and probe identity).
+//
+// The recording is solver-side: replay reproduces solver state and
+// re-emits the fiddle-application events, without monitord, Freon, or
+// the network — a 2000-second run replays in milliseconds.
+func Replay(log *Log, cm *model.Cluster, cfg ReplayConfig) (*ReplayResult, error) {
+	if log.Step <= 0 {
+		return nil, fmt.Errorf("recordlog: log carries no meta record (step size unknown); was it recorded by a solver daemon?")
+	}
+	if !log.Header.Virtual() {
+		return nil, fmt.Errorf("recordlog: log %q was recorded on the real clock; only virtual-clock runs replay deterministically", log.Header.Node)
+	}
+	if cfg.MaxMismatches <= 0 {
+		cfg.MaxMismatches = 20
+	}
+	sol, err := solver.New(cm, solver.Config{Step: log.Step, Workers: cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("recordlog: rebuild solver: %w", err)
+	}
+	machines := sol.Machines()
+	if log.Machines != 0 && log.Machines != len(machines) {
+		return nil, fmt.Errorf("recordlog: log recorded %d machines, model has %d — wrong cluster config?", log.Machines, len(machines))
+	}
+	res := &ReplayResult{Mismatches: make([]string, 0, cfg.MaxMismatches)}
+
+	// Cross-check probe identity so row comparisons compare like with
+	// like. A log without probe records (no -ctl on the recording
+	// daemon) simply has no rows to compare.
+	pm, pn := sol.Probes()
+	if len(log.Probes) > 0 {
+		if len(log.Probes) != len(pm) {
+			return nil, fmt.Errorf("recordlog: log has %d probes, model has %d", len(log.Probes), len(pm))
+		}
+		for i, p := range log.Probes {
+			if p.Machine != pm[i] || p.Node != pn[i] {
+				return nil, fmt.Errorf("recordlog: probe %d is %s/%s in log but %s/%s in model", i, p.Machine, p.Node, pm[i], pn[i])
+			}
+		}
+	}
+
+	// Rows keyed by sample time; sampling happens on step boundaries.
+	rows := make(map[time.Duration]*TempRow, len(log.TempRows))
+	var lastAt time.Duration
+	for i := range log.TempRows {
+		rows[log.TempRows[i].At] = &log.TempRows[i]
+		if log.TempRows[i].At > lastAt {
+			lastAt = log.TempRows[i].At
+		}
+	}
+	steps := uint64(lastAt / log.Step)
+	for _, in := range log.Inputs {
+		if in.Tick+1 > steps {
+			steps = in.Tick + 1
+		}
+	}
+
+	clk := clock.NewVirtual()
+	events := telemetry.NewEventLog(len(log.Inputs)+16, clk)
+	scratch := make([]float64, len(pm))
+	ii := 0
+	for n := uint64(1); n <= steps; n++ {
+		// Apply every input recorded before step n fired, in recorded
+		// order, advancing the clock to each input's timestamp so
+		// re-emitted events reproduce the recorded stamps.
+		for ii < len(log.Inputs) && log.Inputs[ii].Tick < n {
+			in := log.Inputs[ii]
+			ii++
+			clk.AdvanceTo(in.At)
+			switch {
+			case in.Util != nil:
+				for _, e := range in.Util.Entries {
+					if err := sol.SetUtilization(in.Util.Machine, e.Source, e.Util); err != nil {
+						res.mismatch("tick %d: util %s/%s: %v", in.Tick, in.Util.Machine, e.Source, err)
+					}
+				}
+				res.UtilsApplied++
+			case in.Fiddle != nil:
+				op := in.Fiddle.Op
+				if err := fiddle.Apply(sol, &op); err != nil {
+					res.mismatch("tick %d: fiddle %s: %v", in.Tick, wire.FiddleEventDetail(&op), err)
+					continue
+				}
+				machine := ""
+				if len(op.Strings) > 0 {
+					machine = op.Strings[0]
+				}
+				value := 0.0
+				if len(op.Floats) > 0 {
+					value = op.Floats[0]
+				}
+				events.Emit(telemetry.EvFiddle, machine, "", value, wire.FiddleEventDetail(&op))
+				res.FiddlesApplied++
+			}
+		}
+		clk.AdvanceTo(time.Duration(n) * log.Step)
+		sol.Step()
+		res.Steps = n
+		if row, ok := rows[time.Duration(n)*log.Step]; ok {
+			sol.ReadAllTemps(scratch)
+			res.RowsCompared++
+			if len(row.Temps) != len(scratch) {
+				res.mismatch("step %d: row has %d temps, model has %d probes", n, len(row.Temps), len(scratch))
+				continue
+			}
+			match := true
+			for i := range scratch {
+				if math.Float64bits(scratch[i]) != math.Float64bits(row.Temps[i]) {
+					res.mismatch("step %d probe %d (%s/%s): replay %.9g != recorded %.9g", n, i, pm[i], pn[i], scratch[i], row.Temps[i])
+					match = false
+					break
+				}
+			}
+			if match {
+				res.RowsMatched++
+			}
+		}
+	}
+
+	// Compare the replayed event stream against the recorded fiddle
+	// events, everything but the log-assigned Seq.
+	res.Events = events.Since(0)
+	var recFiddles []telemetry.Event
+	for _, e := range log.Events {
+		if e.Type == telemetry.EvFiddle {
+			recFiddles = append(recFiddles, e)
+		}
+	}
+	res.EventsCompared = len(recFiddles)
+	if len(res.Events) != len(recFiddles) {
+		res.mismatch("replay emitted %d fiddle events, recording has %d", len(res.Events), len(recFiddles))
+	} else {
+		for i := range recFiddles {
+			if sameEvent(res.Events[i], recFiddles[i]) {
+				res.EventsMatched++
+			} else {
+				res.mismatch("fiddle event %d: replay %q != recorded %q", i, res.Events[i].String(), recFiddles[i].String())
+			}
+		}
+	}
+	return res, nil
+}
+
+// sameEvent compares everything but Seq, floats bitwise.
+func sameEvent(a, b telemetry.Event) bool {
+	return a.At == b.At && a.Type == b.Type && a.Machine == b.Machine &&
+		a.Node == b.Node && a.Detail == b.Detail &&
+		math.Float64bits(a.Value) == math.Float64bits(b.Value)
+}

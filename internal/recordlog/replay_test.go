@@ -1,0 +1,158 @@
+package recordlog
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/fiddle"
+	"github.com/darklab/mercury/internal/model"
+	"github.com/darklab/mercury/internal/solver"
+	"github.com/darklab/mercury/internal/telemetry"
+	"github.com/darklab/mercury/internal/units"
+	"github.com/darklab/mercury/internal/wire"
+)
+
+// driveAndRecord steps a live solver for steps ticks, feeding it a
+// deterministic utilization schedule plus one mid-run fiddle, and
+// records everything the way solverd does: utils stamped with the
+// tick they precede, temp rows every sampleEvery steps.
+func driveAndRecord(t *testing.T, path string, steps int) {
+	t.Helper()
+	cm, err := model.DefaultCluster("room", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solver.New(cm, solver.Config{Step: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual()
+	w, err := Create(path, "unit", clk, WithRingSize(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := sol.Machines()
+	pmM, pmN := sol.Probes()
+	probes := make([]telemetry.TempProbe, len(pmM))
+	for i := range probes {
+		probes[i] = telemetry.TempProbe{Machine: pmM[i], Node: pmN[i]}
+	}
+	w.RecordMeta(sol.StepSize(), len(machines))
+	w.SetProbes(probes)
+	events := telemetry.NewEventLog(64, clk)
+	events.SetSink(w.RecordEvent)
+
+	scratch := make([]float64, len(probes))
+	for n := 0; n < steps; n++ {
+		// Second n: utils for the interval arrive before step n+1,
+		// stamped with the current tick (n), as solverd records them.
+		clk.AdvanceTo(time.Duration(n)*time.Second + 500*time.Millisecond)
+		if n == steps/2 {
+			op := wire.FiddleOp{Op: wire.OpPinInlet, Strings: []string{machines[1]}, Floats: []float64{38.6}}
+			if err := fiddle.Apply(sol, &op); err != nil {
+				t.Fatal(err)
+			}
+			w.RecordFiddle(uint64(n), &op)
+			events.Emit(telemetry.EvFiddle, op.Strings[0], "", op.Floats[0], wire.FiddleEventDetail(&op))
+		}
+		clk.AdvanceTo(time.Duration(n+1) * time.Second)
+		for i, m := range machines {
+			u := 0.2 + 0.6*float64((n+i)%5)/4
+			if err := sol.SetUtilization(m, model.UtilCPU, units.Fraction(u)); err != nil {
+				t.Fatal(err)
+			}
+			w.RecordUtil(uint64(n), m, uint32(n+1), []wire.UtilEntry{{Source: model.UtilCPU, Util: units.Fraction(u)}})
+		}
+		sol.Step()
+		if (n+1)%10 == 0 {
+			sol.ReadAllTemps(scratch)
+			w.RecordTempRow(time.Duration(n+1)*time.Second, scratch)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Drops() != 0 {
+		t.Fatalf("recorder dropped %d records", w.Drops())
+	}
+}
+
+func TestReplayBitIdentical(t *testing.T) {
+	path := tempPath(t)
+	const steps = 100
+	driveAndRecord(t, path, steps)
+
+	log, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := model.DefaultCluster("room", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(log, cm, ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical() {
+		t.Fatalf("replay diverged: %d mismatches, first: %v", res.MismatchCount(), res.Mismatches)
+	}
+	if res.Steps != steps {
+		t.Errorf("replayed %d steps, want %d", res.Steps, steps)
+	}
+	if res.RowsCompared != steps/10 || res.RowsMatched != res.RowsCompared {
+		t.Errorf("rows compared/matched = %d/%d, want %d/%d", res.RowsCompared, res.RowsMatched, steps/10, steps/10)
+	}
+	if res.UtilsApplied != steps*4 {
+		t.Errorf("utils applied = %d, want %d", res.UtilsApplied, steps*4)
+	}
+	if res.FiddlesApplied != 1 {
+		t.Errorf("fiddles applied = %d, want 1", res.FiddlesApplied)
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	path := tempPath(t)
+	driveAndRecord(t, path, 50)
+	log, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one recorded temperature by one ULP: the bitwise compare
+	// must catch it.
+	v := log.TempRows[2].Temps[3]
+	log.TempRows[2].Temps[3] = math.Nextafter(v, v+1)
+	cm, err := model.DefaultCluster("room", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(log, cm, ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Identical() {
+		t.Fatal("one-ULP perturbation not detected")
+	}
+	if res.MismatchCount() != 1 || res.RowsMatched != res.RowsCompared-1 {
+		t.Errorf("mismatches = %d, rows %d/%d; want exactly the perturbed row flagged",
+			res.MismatchCount(), res.RowsMatched, res.RowsCompared)
+	}
+}
+
+func TestReplayRejectsWrongModel(t *testing.T) {
+	path := tempPath(t)
+	driveAndRecord(t, path, 20)
+	log, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := model.DefaultCluster("room", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(log, cm, ReplayConfig{}); err == nil {
+		t.Fatal("replay accepted a cluster with the wrong machine count")
+	}
+}

@@ -1,0 +1,412 @@
+package recordlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/darklab/mercury/internal/causal"
+	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/telemetry"
+	"github.com/darklab/mercury/internal/wire"
+)
+
+// defaultRingSize is the default record ring capacity (must be a
+// power of two). At ~500 bytes max per record that is ~1 MiB of
+// buffer between the hot paths and the disk.
+const defaultRingSize = 2048
+
+// cellBuf is each ring cell's payload buffer; every defined record
+// fits (maxPayload ≤ cellBuf).
+const cellBuf = 512
+
+// cell is one slot of the bounded MPSC ring. seq carries the Vyukov
+// protocol state: pos means "free for the producer claiming pos",
+// pos+1 means "published, awaiting the consumer", pos+ringSize means
+// "consumed, free for the producer claiming pos+ringSize".
+type cell struct {
+	seq atomic.Uint64
+	typ byte
+	n   uint16
+	buf [cellBuf]byte
+}
+
+// WriterOption configures Create.
+type WriterOption func(*writerConfig)
+
+type writerConfig struct {
+	ringSize  int
+	autostart bool
+}
+
+// WithRingSize sets the record ring capacity (rounded up to a power
+// of two, minimum 8). A larger ring tolerates longer disk stalls
+// before records are dropped.
+func WithRingSize(n int) WriterOption {
+	return func(c *writerConfig) { c.ringSize = n }
+}
+
+// Writer appends records to one flight-recorder file. The Record*
+// methods are safe for concurrent use, never block, and perform no
+// allocations: each encodes into a preallocated ring cell claimed
+// with a single CAS; a background goroutine drains cells to a
+// buffered file. When the ring is full (disk too slow) the record is
+// dropped and counted — the hot path is never back-pressured.
+type Writer struct {
+	f     *os.File
+	bw    *bufio.Writer
+	clk   clock.Clock
+	epoch time.Time
+	path  string
+
+	cells []cell
+	mask  uint64
+	enq   atomic.Uint64 // next producer position
+	deq   uint64        // next consumer position (consumer goroutine only)
+
+	drops     atomic.Uint64
+	written   atomic.Uint64
+	truncated atomic.Uint64
+
+	notify chan struct{}
+	quit   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+
+	mu   sync.Mutex
+	werr error // first write error, reported by Close
+}
+
+// Create opens path for writing, emits the file header and the
+// format-descriptor table synchronously, and starts the drain
+// goroutine. node names the recording daemon (stored in the header,
+// used by dash backfill as the target name). clk stamps util/fiddle
+// records; pass the daemon's clock (nil falls back to the real
+// clock). The epoch recorded in the header is clk.Now() at Create
+// time — create the writer before advancing a virtual clock so the
+// epoch is virtual t=0.
+func Create(path, node string, clk clock.Clock, opts ...WriterOption) (*Writer, error) {
+	w, err := newWriter(path, node, clk, writerConfig{ringSize: defaultRingSize, autostart: true}, opts...)
+	return w, err
+}
+
+func newWriter(path, node string, clk clock.Clock, cfg writerConfig, opts ...WriterOption) (*Writer, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
+	size := 8
+	for size < cfg.ringSize {
+		size <<= 1
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		f:      f,
+		bw:     bufio.NewWriterSize(f, 1<<16),
+		clk:    clk,
+		epoch:  clk.Now(),
+		path:   path,
+		cells:  make([]cell, size),
+		mask:   uint64(size - 1),
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := range w.cells {
+		w.cells[i].seq.Store(uint64(i))
+	}
+	var flags byte
+	if _, ok := clk.(*clock.Virtual); ok {
+		flags |= FlagVirtualClock
+	}
+	var hdr [headerSize]byte
+	encodeHeader(hdr[:], flags, w.epoch, node)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// The descriptor table is written synchronously so every reader —
+	// including one racing a live writer — sees the full format table
+	// before any data record.
+	var payload [recFormatSize]byte
+	for i := range formats {
+		encodeFormat(payload[:], &formats[i])
+		w.writeFrame(RecFormat, payload[:])
+	}
+	if err := w.bw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if cfg.autostart {
+		go w.drain()
+	}
+	return w, nil
+}
+
+// Path returns the file path the writer was created with.
+func (w *Writer) Path() string { return w.path }
+
+// Drops returns the number of records dropped because the ring was
+// full.
+func (w *Writer) Drops() uint64 { return w.drops.Load() }
+
+// Written returns the number of frames written to the file so far
+// (including the descriptor table).
+func (w *Writer) Written() uint64 { return w.written.Load() }
+
+// Truncated returns the number of string fields (or repeated groups)
+// that were cut to fit their fixed-width slot.
+func (w *Writer) Truncated() uint64 { return w.truncated.Load() }
+
+// Close drains outstanding records, flushes and syncs the file, and
+// returns the first write error encountered. Stop all producers
+// before calling Close: records published after Close begins may be
+// lost (they are never corrupted — the file always ends on a frame
+// boundary or a cleanly-truncated tail). Close is idempotent.
+func (w *Writer) Close() error {
+	w.once.Do(func() { close(w.quit) })
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.werr
+}
+
+// claim grabs the next ring cell, or reports the ring full.
+func (w *Writer) claim() (*cell, uint64, bool) {
+	for {
+		pos := w.enq.Load()
+		c := &w.cells[pos&w.mask]
+		seq := c.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if w.enq.CompareAndSwap(pos, pos+1) {
+				return c, pos, true
+			}
+		case d < 0:
+			return nil, 0, false // consumer hasn't freed this cell: ring full
+		}
+		// d > 0: another producer claimed pos first; reload and retry.
+	}
+}
+
+// publish hands a filled cell to the consumer and nudges it awake.
+func (w *Writer) publish(c *cell, pos uint64) {
+	c.seq.Store(pos + 1)
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+// RecordEvent records one telemetry event. Suitable as an
+// EventLog.SetSink target.
+func (w *Writer) RecordEvent(e telemetry.Event) {
+	c, pos, ok := w.claim()
+	if !ok {
+		w.drops.Add(1)
+		return
+	}
+	n, trunc := encodeEvent(c.buf[:], &e)
+	c.typ, c.n = RecEvent, uint16(n)
+	if trunc > 0 {
+		w.truncated.Add(uint64(trunc))
+	}
+	w.publish(c, pos)
+}
+
+// RecordSpan records one causal span. Suitable as a Tracer.SetSink
+// target.
+func (w *Writer) RecordSpan(s causal.Span) {
+	c, pos, ok := w.claim()
+	if !ok {
+		w.drops.Add(1)
+		return
+	}
+	n, trunc := encodeSpan(c.buf[:], &s)
+	c.typ, c.n = RecSpan, uint16(n)
+	if trunc > 0 {
+		w.truncated.Add(uint64(trunc))
+	}
+	w.publish(c, pos)
+}
+
+// SetProbes records the temp-probe identity table: probe i of every
+// subsequent RecTempRow is probes[i].
+func (w *Writer) SetProbes(probes []telemetry.TempProbe) {
+	for i := range probes {
+		c, pos, ok := w.claim()
+		if !ok {
+			w.drops.Add(1)
+			continue
+		}
+		n, trunc := encodeProbe(c.buf[:], i, &probes[i])
+		c.typ, c.n = RecProbe, uint16(n)
+		if trunc > 0 {
+			w.truncated.Add(uint64(trunc))
+		}
+		w.publish(c, pos)
+	}
+}
+
+// RecordTempRow records one sampled temperature column (all probes at
+// virtual time at), chunking long rows. vals is copied synchronously;
+// the caller may reuse it. Suitable as a TempTable.SetSink target.
+func (w *Writer) RecordTempRow(at time.Duration, vals []float64) {
+	for first := 0; first < len(vals) || first == 0; first += tempChunk {
+		chunk := vals[first:min(first+tempChunk, len(vals))]
+		c, pos, ok := w.claim()
+		if !ok {
+			w.drops.Add(1)
+			continue
+		}
+		c.typ, c.n = RecTempRow, uint16(encodeTempChunk(c.buf[:], at, first, chunk))
+		w.publish(c, pos)
+		if first+tempChunk >= len(vals) {
+			break
+		}
+	}
+}
+
+// RecordUtil records one applied utilization update: tick is the
+// solver step count when it was applied (it influences step tick+1),
+// seq the wire sequence number. The timestamp is the writer clock's
+// elapsed time since the header epoch.
+func (w *Writer) RecordUtil(tick uint64, machine string, seq uint32, entries []wire.UtilEntry) {
+	c, pos, ok := w.claim()
+	if !ok {
+		w.drops.Add(1)
+		return
+	}
+	at := w.clk.Now().Sub(w.epoch)
+	n, trunc := encodeUtil(c.buf[:], tick, at, seq, machine, entries)
+	c.typ, c.n = RecUtil, uint16(n)
+	if trunc > 0 {
+		w.truncated.Add(uint64(trunc))
+	}
+	w.publish(c, pos)
+}
+
+// RecordFiddle records one applied fiddle op at solver tick.
+func (w *Writer) RecordFiddle(tick uint64, op *wire.FiddleOp) {
+	c, pos, ok := w.claim()
+	if !ok {
+		w.drops.Add(1)
+		return
+	}
+	at := w.clk.Now().Sub(w.epoch)
+	n, trunc := encodeFiddle(c.buf[:], tick, at, op)
+	c.typ, c.n = RecFiddle, uint16(n)
+	if trunc > 0 {
+		w.truncated.Add(uint64(trunc))
+	}
+	w.publish(c, pos)
+}
+
+// RecordBoundary records one imported boundary-temperature exchange
+// (sharded runs), chunking long index lists.
+func (w *Writer) RecordBoundary(tick uint64, region int, idx []int32, temps []float64) {
+	for first := 0; first < len(idx) || first == 0; first += boundaryChunk {
+		hi := min(first+boundaryChunk, len(idx))
+		c, pos, ok := w.claim()
+		if !ok {
+			w.drops.Add(1)
+			continue
+		}
+		c.typ, c.n = RecBoundary, uint16(encodeBoundaryChunk(c.buf[:], tick, region, idx[first:hi], temps[first:hi]))
+		w.publish(c, pos)
+		if first+boundaryChunk >= len(idx) {
+			break
+		}
+	}
+}
+
+// RecordMeta records run metadata (solver step size, machine count).
+// Call once after the solver is built.
+func (w *Writer) RecordMeta(step time.Duration, machines int) {
+	c, pos, ok := w.claim()
+	if !ok {
+		w.drops.Add(1)
+		return
+	}
+	c.typ, c.n = RecMeta, uint16(encodeMeta(c.buf[:], step, machines))
+	w.publish(c, pos)
+}
+
+// drain is the consumer goroutine: it moves published cells to the
+// buffered file in ring order, flushing whenever the ring runs dry.
+func (w *Writer) drain() {
+	defer close(w.done)
+	for {
+		if w.drainAvailable() == 0 {
+			w.flush()
+			select {
+			case <-w.notify:
+			case <-w.quit:
+				w.drainAvailable()
+				w.flush()
+				w.setErr(w.f.Sync())
+				w.setErr(w.f.Close())
+				return
+			}
+		}
+	}
+}
+
+func (w *Writer) drainAvailable() int {
+	n := 0
+	for {
+		c := &w.cells[w.deq&w.mask]
+		if c.seq.Load() != w.deq+1 {
+			return n
+		}
+		w.writeFrame(c.typ, c.buf[:c.n])
+		c.seq.Store(w.deq + w.mask + 1)
+		w.deq++
+		n++
+	}
+}
+
+// writeFrame emits `type u8 | plen u16 | payload | crc32` to the
+// buffered writer. The CRC (IEEE) covers type, length, and payload.
+func (w *Writer) writeFrame(typ byte, payload []byte) {
+	var hdr [3]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint16(hdr[1:], uint16(len(payload)))
+	crc := crc32.Update(0, crcTable, hdr[:])
+	crc = crc32.Update(crc, crcTable, payload)
+	_, err := w.bw.Write(hdr[:])
+	if err == nil {
+		_, err = w.bw.Write(payload)
+	}
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc)
+	if err == nil {
+		_, err = w.bw.Write(tail[:])
+	}
+	w.setErr(err)
+	w.written.Add(1)
+}
+
+func (w *Writer) flush() {
+	w.setErr(w.bw.Flush())
+}
+
+func (w *Writer) setErr(err error) {
+	if err == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.werr == nil {
+		w.werr = err
+	}
+	w.mu.Unlock()
+}

@@ -235,6 +235,8 @@ func (s *Server) awaitBoundary(tick uint64) bool {
 		// only ever taken after b.mu, never the other way around.
 		if err := s.sol.ImportBoundaryTemps(l.region, st.idx, st.temps); err != nil {
 			s.stats.Malformed.Add(1)
+		} else if s.rec != nil {
+			s.rec.RecordBoundary(tick, l.region, st.idx, st.temps)
 		}
 	}
 	return true

@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +82,9 @@ type Server struct {
 	surro  *surrogate.Model
 	stepMu sync.Mutex
 
+	// Flight recorder (nil unless WithRecorder).
+	rec Recorder
+
 	mu      sync.Mutex
 	lastSeq map[string]uint32
 
@@ -129,6 +131,32 @@ func WithSurrogate(m *surrogate.Model) Option {
 	return func(s *Server) { s.surro = m }
 }
 
+// Recorder is the flight-recorder surface solverd drives when one is
+// attached (WithRecorder): run metadata and probe identity at Listen,
+// every applied utilization update and fiddle op stamped with the
+// solver tick they influence, boundary imports on sharded runs, and
+// sampled temperature rows. *recordlog.Writer implements it; the
+// indirection keeps solverd free of the recordlog dependency. All
+// methods must be non-blocking and allocation-free (the recorder
+// drops, never back-pressures).
+type Recorder interface {
+	RecordMeta(step time.Duration, machines int)
+	SetProbes(probes []telemetry.TempProbe)
+	RecordTempRow(at time.Duration, vals []float64)
+	RecordUtil(tick uint64, machine string, seq uint32, entries []wire.UtilEntry)
+	RecordFiddle(tick uint64, op *wire.FiddleOp)
+	RecordBoundary(tick uint64, region int, idx []int32, temps []float64)
+}
+
+// WithRecorder attaches a durable flight recorder: the daemon records
+// run metadata, applied util updates and fiddle ops (with their solver
+// tick, making the file replayable by mercury-replay), boundary
+// imports, and — when telemetry is on — probe identity and sampled
+// temperature rows.
+func WithRecorder(rec Recorder) Option {
+	return func(s *Server) { s.rec = rec }
+}
+
 // WithTempSampling tunes the temperature table: capacity samples
 // retained per node, one sample every everySteps solver steps.
 // Defaults are 360 and 10 (an hour of history at a one-second step).
@@ -168,6 +196,13 @@ func Listen(addr string, sol *solver.Solver, opts ...Option) (*Server, error) {
 	}
 	if s.reg != nil {
 		s.registerMetrics()
+	}
+	if s.rec != nil {
+		s.rec.RecordMeta(sol.StepSize(), len(sol.Machines()))
+		if s.temps != nil {
+			s.rec.SetProbes(s.temps.Probes())
+			s.temps.SetSink(s.rec.RecordTempRow)
+		}
 	}
 	return s, nil
 }
@@ -425,6 +460,11 @@ func (s *Server) applyUtil(machine string, seq uint32, entries []wire.UtilEntry,
 		}
 	}
 	s.stats.UtilUpdates.Add(1)
+	if s.rec != nil {
+		// Stamped with the current tick: the update influences step
+		// tick+1, which is when replay re-applies it.
+		s.rec.RecordUtil(s.stats.SolverSteps.Load(), machine, seq, entries)
+	}
 	if s.tracer != nil && tc.Trace != 0 {
 		s.tracer.Emit(causal.Span{
 			Trace:   tc.Trace,
@@ -487,6 +527,9 @@ func (s *Server) ApplyFiddle(op *wire.FiddleOp) error {
 	if err := fiddle.Apply(s.sol, op); err != nil {
 		return err
 	}
+	if s.rec != nil {
+		s.rec.RecordFiddle(s.stats.SolverSteps.Load(), op)
+	}
 	if s.events != nil {
 		// Source setpoints are global, so sharded runs broadcast them
 		// to every region; only region 0 logs the event, keeping the
@@ -510,9 +553,10 @@ func (s *Server) ApplyFiddle(op *wire.FiddleOp) error {
 }
 
 // fiddleDetail renders an op for the event log, e.g.
-// "pin-inlet(machine1)".
+// "pin-inlet(machine1)". Shared with mercury-replay so replayed
+// events are byte-identical.
 func fiddleDetail(op *wire.FiddleOp) string {
-	return wire.OpName(op.Op) + "(" + strings.Join(op.Strings, ",") + ")"
+	return wire.FiddleEventDetail(op)
 }
 
 func (s *Server) handleFiddle(buf []byte) []byte {

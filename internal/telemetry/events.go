@@ -109,6 +109,7 @@ type EventLog struct {
 	n    int
 	seq  uint64
 	subs map[chan Event]struct{}
+	sink func(Event)
 }
 
 // NewEventLog creates a log retaining up to capacity events (default
@@ -150,8 +151,22 @@ func (l *EventLog) Emit(typ EventType, machine, node string, value float64, deta
 		default:
 		}
 	}
+	if l.sink != nil {
+		l.sink(e)
+	}
 	l.mu.Unlock()
 	return e
+}
+
+// SetSink installs a function called once per emitted event, after
+// Seq and At are assigned, under the log's lock so the sink observes
+// strict sequence order. The flight recorder (internal/recordlog)
+// hangs its durable capture here; the sink must never block (the
+// recorder's ring drops instead). Pass nil to detach.
+func (l *EventLog) SetSink(sink func(Event)) {
+	l.mu.Lock()
+	l.sink = sink
+	l.mu.Unlock()
 }
 
 // Seq returns the sequence number of the most recent event (0 when

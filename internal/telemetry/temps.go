@@ -33,6 +33,7 @@ type TempTable struct {
 	vals   []float64       // column-major slab: sample k is vals[k*np : (k+1)*np]
 	head   int             // next column to write
 	n      int             // filled columns, <= cap
+	sink   func(at time.Duration, vals []float64)
 }
 
 // NewTempTable builds a table for the given probes. capacity is the
@@ -69,11 +70,27 @@ func (t *TempTable) Sample(at time.Duration, fill func(dst []float64) int) {
 	defer t.mu.Unlock()
 	np := len(t.probes)
 	t.at[t.head] = at
-	fill(t.vals[t.head*np : (t.head+1)*np])
+	col := t.vals[t.head*np : (t.head+1)*np]
+	fill(col)
+	if t.sink != nil {
+		t.sink(at, col)
+	}
 	t.head = (t.head + 1) % t.cap
 	if t.n < t.cap {
 		t.n++
 	}
+}
+
+// SetSink installs a function called once per sampled column, under
+// the table's lock, with the freshly-filled value slice in probe
+// order. The slice is only valid for the duration of the call — the
+// sink must copy synchronously (the flight recorder encodes into its
+// ring cells before returning) and must never block. Pass nil to
+// detach.
+func (t *TempTable) SetSink(sink func(at time.Duration, vals []float64)) {
+	t.mu.Lock()
+	t.sink = sink
+	t.mu.Unlock()
 }
 
 // Series returns a copy of probe i's retained samples, oldest first.

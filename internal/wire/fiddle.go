@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Fiddle operation codes. Each op takes a fixed set of string and
@@ -62,6 +63,13 @@ func OpName(op byte) string {
 	default:
 		return fmt.Sprintf("op-0x%02x", op)
 	}
+}
+
+// FiddleEventDetail renders an op for the thermal event log, e.g.
+// "pin-inlet(machine1)". solverd and mercury-replay both use it, so
+// replayed fiddle events are byte-identical to the live run's.
+func FiddleEventDetail(op *FiddleOp) string {
+	return OpName(op.Op) + "(" + strings.Join(op.Strings, ",") + ")"
 }
 
 // OpCode is the inverse of OpName: it resolves a human-readable
