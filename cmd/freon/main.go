@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"github.com/darklab/mercury/internal/alert"
 	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/experiments"
@@ -55,18 +56,24 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
 		traceOn   = flag.Bool("trace-spans", false, "record causal spans for thermal emergencies; served at /spans on the -ctl address")
 		record    = flag.String("record", "", "flight-recorder directory: capture the run's events, spans, temps, and inputs for mercury-replay (see docs/recordlog.md)")
+		recordMax = flag.Int64("record-max-bytes", 0, "rotate the flight-recorder file into numbered segments once one exceeds this many bytes (0 = one unbounded file)")
+		alertsArg = flag.String("alerts", "", "alert rules: \"default\" for the built-in set, or a JSON rule file; evaluated every emulated second and served at /alerts on the -ctl address (see docs/observability.md)")
 	)
 	flag.Parse()
 	if *pprofOn && *ctlAddr == "" {
 		fmt.Fprintln(os.Stderr, "freon: -pprof requires -ctl")
 		os.Exit(2)
 	}
+	rules, err := alert.LoadRules(*alertsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freon:", err)
+		os.Exit(2)
+	}
 
-	var err error
 	if *onlineRun {
-		err = runOnline(*machines, *duration, *seed, *ctlAddr, *traceOn, *record)
+		err = runOnline(*machines, *duration, *seed, *ctlAddr, *traceOn, *record, *recordMax, rules)
 	} else {
-		err = run(*policy, *machines, *duration, *seed, *quiet, *ctlAddr, *pprofOn, *traceOn, *record)
+		err = run(*policy, *machines, *duration, *seed, *quiet, *ctlAddr, *pprofOn, *traceOn, *record, *recordMax, rules)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "freon:", err)
@@ -76,16 +83,18 @@ func main() {
 
 // runOnline drives the full daemon stack over loopback UDP in
 // deterministic lockstep and prints the Figure 11 summary.
-func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string, traceOn bool, record string) error {
+func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string, traceOn bool, record string, recordMax int64, rules []alert.Rule) error {
 	start := time.Now()
 	res, err := online.Run(online.Config{
-		Machines: machines,
-		Seed:     seed,
-		Duration: duration,
-		Script:   online.Fig11Script,
-		CtlAddr:  ctlAddr,
-		Trace:    traceOn,
-		Record:   record,
+		Machines:       machines,
+		Seed:           seed,
+		Duration:       duration,
+		Script:         online.Fig11Script,
+		CtlAddr:        ctlAddr,
+		Trace:          traceOn,
+		Record:         record,
+		RecordMaxBytes: recordMax,
+		Alerts:         rules,
 	})
 	if err != nil {
 		return err
@@ -112,6 +121,16 @@ func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string,
 		}
 		fmt.Printf("causal spans: %d (%d emergency traces)\n", len(res.Spans), len(traces))
 	}
+	if len(res.Alerts) > 0 {
+		firing := 0
+		for _, e := range res.Alerts {
+			if e.Type == telemetry.EvAlertFiring {
+				firing++
+			}
+		}
+		fmt.Printf("alerts: %d transitions (%d firing edges; first: %s)\n",
+			len(res.Alerts), firing, res.Alerts[0])
+	}
 	if res.RecordPath != "" {
 		fmt.Printf("recorded to %s (%d drops); verify with: mercury-replay -log %s\n",
 			res.RecordPath, res.RecordDrops, res.RecordPath)
@@ -119,7 +138,7 @@ func runOnline(machines int, duration time.Duration, seed int64, ctlAddr string,
 	return nil
 }
 
-func run(policy string, machines int, duration time.Duration, seed int64, quiet bool, ctlAddr string, pprofOn, traceOn bool, record string) error {
+func run(policy string, machines int, duration time.Duration, seed int64, quiet bool, ctlAddr string, pprofOn, traceOn bool, record string, recordMax int64, rules []alert.Rule) error {
 	sim, err := experiments.NewSim(machines, seed, duration)
 	if err != nil {
 		return err
@@ -139,18 +158,20 @@ fiddle machine3 temperature inlet 35.6
 	// clock so event timestamps land on emulated time. The flight
 	// recorder needs both feeds to exist even without -ctl/-trace-spans.
 	var events *telemetry.EventLog
-	if ctlAddr != "" || record != "" {
+	if ctlAddr != "" || record != "" || rules != nil {
 		events = telemetry.NewEventLog(0, sim.Clock)
 	}
 	var tracer *causal.Tracer
 	if traceOn || record != "" {
 		tracer = causal.NewTracer(0, sim.Clock)
 	}
+	var rec *recordlog.Writer
 	if record != "" {
 		if err := os.MkdirAll(record, 0o755); err != nil {
 			return err
 		}
-		rec, err := recordlog.Create(filepath.Join(record, "freon.mrl"), "freon", sim.Clock)
+		rec, err = recordlog.Create(filepath.Join(record, "freon.mrl"), "freon", sim.Clock,
+			recordlog.WithMaxBytes(recordMax))
 		if err != nil {
 			return err
 		}
@@ -203,8 +224,48 @@ fiddle machine3 temperature inlet 35.6
 		return fmt.Errorf("unknown policy %q", policy)
 	}
 
+	// Alerting over the in-process rig: the engine watches the sim's
+	// solver directly and evaluates from the per-second hook, after
+	// the policy's own ticks for that second.
+	var eng *alert.Engine
+	if rules != nil {
+		thr := map[string]freon.Thresholds{}
+		for _, c := range freon.DefaultComponents() {
+			thr[c.Node] = c.Thresholds
+		}
+		ms, ns := sim.Solver.Probes()
+		probes := make([]alert.Probe, len(ms))
+		for i := range ms {
+			t := thr[ns[i]]
+			probes[i] = alert.Probe{
+				Machine: ms[i], Node: ns[i],
+				Low: float64(t.Low), High: float64(t.High), RedLine: float64(t.RedLine),
+			}
+		}
+		acfg := alert.Config{
+			Rules:  rules,
+			Step:   time.Second,
+			Probes: probes,
+			Fill:   sim.Solver.ReadAllTemps,
+			Events: events,
+			Clock:  sim.Clock,
+		}
+		if rec != nil {
+			acfg.Health = func() (uint64, uint64, uint64) { return 0, 0, rec.Drops() }
+		}
+		if eng, err = alert.New(acfg); err != nil {
+			return err
+		}
+		if rec != nil {
+			eng.Transitions().SetSink(rec.RecordAlert)
+		}
+	}
+
 	if ctlAddr != "" {
 		opts := []ctl.Option{ctl.WithEvents(events)}
+		if eng != nil {
+			opts = append(opts, ctl.WithAlerts(func() any { return eng.State() }, eng.Transitions()))
+		}
 		if stateFn != nil {
 			opts = append(opts, ctl.WithState(stateFn))
 		}
@@ -223,8 +284,9 @@ fiddle machine3 temperature inlet 35.6
 		fmt.Printf("freon: control plane on http://%s\n", bound)
 	}
 
+	var printSecond func(sec int, tick webcluster.Tick) error
 	if !quiet {
-		sim.OnSecond = func(sec int, tick webcluster.Tick) error {
+		printSecond = func(sec int, tick webcluster.Tick) error {
 			if (sec+1)%60 != 0 {
 				return nil
 			}
@@ -244,6 +306,15 @@ fiddle machine3 temperature inlet 35.6
 			return nil
 		}
 	}
+	if eng != nil || printSecond != nil {
+		sim.OnSecond = func(sec int, tick webcluster.Tick) error {
+			eng.EvalTick(uint64(sec + 1))
+			if printSecond != nil {
+				return printSecond(sec, tick)
+			}
+			return nil
+		}
+	}
 
 	if err := sim.Run(duration); err != nil {
 		return err
@@ -253,5 +324,15 @@ fiddle machine3 temperature inlet 35.6
 	fmt.Printf("requests: arrived=%d completed=%d dropped=%d (%.2f%%)\n",
 		t.Arrived, t.Completed, t.Dropped, 100*t.DropRate())
 	fmt.Printf("energy: %.0f kJ\n", float64(sim.Solver.TotalEnergy())/1000)
+	if eng != nil {
+		timeline := eng.Timeline()
+		firing := 0
+		for _, e := range timeline {
+			if e.Type == telemetry.EvAlertFiring {
+				firing++
+			}
+		}
+		fmt.Printf("alerts: %d transitions (%d firing edges)\n", len(timeline), firing)
+	}
 	return nil
 }

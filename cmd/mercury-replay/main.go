@@ -48,7 +48,9 @@ func main() {
 }
 
 // resolveLog turns -log into one file: either the path itself or the
-// sole .mrl inside the named directory.
+// sole .mrl inside the named directory. Rotation segments
+// (base.1.mrl, …) are not separate captures — ReadLog stitches them
+// back through their base file — so the directory scan skips them.
 func resolveLog(path string) (string, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
@@ -61,13 +63,19 @@ func resolveLog(path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	switch len(matches) {
+	bases := matches[:0]
+	for _, m := range matches {
+		if !recordlog.IsSegment(m) {
+			bases = append(bases, m)
+		}
+	}
+	switch len(bases) {
 	case 0:
 		return "", fmt.Errorf("no .mrl files in %s", path)
 	case 1:
-		return matches[0], nil
+		return bases[0], nil
 	}
-	return "", fmt.Errorf("%d .mrl files in %s; name one explicitly: %v", len(matches), path, matches)
+	return "", fmt.Errorf("%d .mrl files in %s; name one explicitly: %v", len(bases), path, bases)
 }
 
 func run(logPath, modelPath string, machines, workers, maxReport int, verifyOnly bool) error {
@@ -85,8 +93,8 @@ func run(logPath, modelPath string, machines, workers, maxReport int, verifyOnly
 	}
 	fmt.Printf("%s: v%d node=%s clock=%s step=%v machines=%d\n",
 		file, log.Header.Version, log.Header.Node, clockKind, log.Step, log.Machines)
-	fmt.Printf("decoded: %d events, %d spans, %d temp rows, %d inputs, %d boundary chunks (%d unknown records skipped)\n",
-		len(log.Events), len(log.Spans), len(log.TempRows), len(log.Inputs), len(log.Boundary), log.Skipped)
+	fmt.Printf("decoded: %d events, %d spans, %d alert transitions, %d temp rows, %d inputs, %d boundary chunks (%d unknown records skipped)\n",
+		len(log.Events), len(log.Spans), len(log.Alerts), len(log.TempRows), len(log.Inputs), len(log.Boundary), log.Skipped)
 	if log.Truncated {
 		fmt.Println("note: truncated tail (writer was killed or is still live); replaying what decoded")
 	}

@@ -37,10 +37,12 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/darklab/mercury/internal/alert"
 	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/ctl"
 	"github.com/darklab/mercury/internal/dotlang"
+	"github.com/darklab/mercury/internal/freon"
 	"github.com/darklab/mercury/internal/model"
 	"github.com/darklab/mercury/internal/recordlog"
 	"github.com/darklab/mercury/internal/solver"
@@ -97,6 +99,8 @@ type runConfig struct {
 	regions    int
 	region     int
 	peersSpec  string
+	alerts     string
+	recordMax  int64
 }
 
 func main() {
@@ -125,6 +129,8 @@ func main() {
 	flag.IntVar(&cfg.regions, "regions", 0, "shard the room across this many cooperating solverds (0 = whole room); every shard must get the same -model and -regions")
 	flag.IntVar(&cfg.region, "region", 0, "this daemon's region index, 0..regions-1")
 	flag.StringVar(&cfg.peersSpec, "peers", "", "peer solverd addresses for sharded runs, comma-separated index=host:port (e.g. \"0=10.0.0.1:8367,2=10.0.0.3:8367\")")
+	flag.StringVar(&cfg.alerts, "alerts", "", "alert rules for on-line mode: \"default\" for the built-in set, or a JSON rule file; evaluated every solver tick and served at /alerts on the -ctl address (see docs/observability.md)")
+	flag.Int64Var(&cfg.recordMax, "record-max-bytes", 0, "rotate the flight-recorder file into numbered segments once one exceeds this many bytes (0 = one unbounded file)")
 	flag.Parse()
 
 	if cfg.pprofOn && cfg.ctlAddr == "" {
@@ -258,6 +264,7 @@ func run(cfg runConfig) error {
 	// Flight recorder: everything solverd applies (utils, fiddles,
 	// boundary imports) plus whatever telemetry exists goes to a durable
 	// .mrl file that mercury-replay can re-drive (docs/recordlog.md).
+	var rec *recordlog.Writer
 	if cfg.record != "" {
 		node := "solver"
 		if cfg.regions > 1 {
@@ -266,7 +273,8 @@ func run(cfg runConfig) error {
 		if err := os.MkdirAll(cfg.record, 0o755); err != nil {
 			return err
 		}
-		rec, err := recordlog.Create(filepath.Join(cfg.record, node+".mrl"), node, clk)
+		rec, err = recordlog.Create(filepath.Join(cfg.record, node+".mrl"), node, clk,
+			recordlog.WithMaxBytes(cfg.recordMax))
 		if err != nil {
 			return err
 		}
@@ -302,7 +310,66 @@ func run(cfg runConfig) error {
 		defer surro.Close()
 		opts = append(opts, solverd.WithSurrogate(surro))
 	}
-	srv, err := solverd.Listen(cfg.listen, sol, opts...)
+	// Alerting: the engine evaluates once per solver tick from the
+	// stepping ticker, over this daemon's own probes (its region, when
+	// sharded) with the paper's Freon thresholds. srv is captured by
+	// the health closure and assigned below, before the ticker starts.
+	var srv *solverd.Server
+	var eng *alert.Engine
+	if cfg.alerts != "" {
+		rules, err := alert.LoadRules(cfg.alerts)
+		if err != nil {
+			return err
+		}
+		thr := map[string]freon.Thresholds{}
+		for _, c := range freon.DefaultComponents() {
+			thr[c.Node] = c.Thresholds
+		}
+		ms, ns := sol.Probes()
+		probes := make([]alert.Probe, len(ms))
+		for i := range ms {
+			t := thr[ns[i]]
+			probes[i] = alert.Probe{
+				Machine: ms[i], Node: ns[i],
+				Low: float64(t.Low), High: float64(t.High), RedLine: float64(t.RedLine),
+			}
+		}
+		acfg := alert.Config{
+			Rules:  rules,
+			Step:   cfg.step,
+			Probes: probes,
+			Fill:   sol.ReadAllTemps,
+			Health: func() (uint64, uint64, uint64) {
+				var missed, boundary, drops uint64
+				if srv != nil {
+					missed = srv.Stats().MissedTicks.Load()
+					boundary = srv.Stats().BoundaryMissed.Load()
+				}
+				if rec != nil {
+					drops = rec.Drops()
+				}
+				return missed, boundary, drops
+			},
+			Events:   events,
+			Registry: reg,
+			Clock:    clk,
+		}
+		if surro != nil {
+			acfg.Residual = func() (float64, float64, bool) {
+				st := surro.Stats()
+				return st.MaxResidualC, surro.ResidualTolerance(), st.FitGeneration > 0
+			}
+			acfg.ETA = surro.TimeToThreshold
+		}
+		if eng, err = alert.New(acfg); err != nil {
+			return err
+		}
+		if rec != nil {
+			eng.Transitions().SetSink(rec.RecordAlert)
+		}
+		opts = append(opts, solverd.WithAlerts(eng))
+	}
+	srv, err = solverd.Listen(cfg.listen, sol, opts...)
 	if err != nil {
 		return err
 	}
@@ -338,6 +405,9 @@ func run(cfg runConfig) error {
 		}
 		if surro != nil {
 			ctlOpts = append(ctlOpts, ctl.WithWhatIf(srv.WhatIf))
+		}
+		if eng != nil {
+			ctlOpts = append(ctlOpts, ctl.WithAlerts(func() any { return eng.State() }, eng.Transitions()))
 		}
 		if cfg.pprofOn {
 			ctlOpts = append(ctlOpts, ctl.WithPprof())

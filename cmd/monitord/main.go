@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/darklab/mercury/internal/alert"
 	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/ctl"
@@ -40,20 +41,22 @@ import (
 
 func main() {
 	var (
-		machine  = flag.String("machine", "", "machine name in the solver's model (required)")
-		solver   = flag.String("solver", "127.0.0.1:8367", "solver daemon UDP address")
-		interval = flag.Duration("interval", time.Second, "sampling interval")
-		procRoot = flag.String("proc", "/proc", "proc filesystem root")
-		disk     = flag.String("disk", "", "disk device to watch (default: auto-detect)")
-		nic      = flag.String("nic", "", "network interface to watch (default: none)")
-		nicCap   = flag.Float64("nic-capacity", 125e6, "NIC capacity in bytes/second")
-		synCPU   = flag.Float64("synthetic-cpu", -1, "fixed synthetic CPU utilization in [0,1] (disables /proc)")
-		synDisk  = flag.Float64("synthetic-disk", 0, "fixed synthetic disk utilization (with -synthetic-cpu)")
-		warp     = flag.Float64("warp", 0, "virtual-time warp factor: emulated seconds per wall second (0 = real time)")
-		ctlAddr  = flag.String("ctl", "", "HTTP control-plane address, e.g. 127.0.0.1:9368 (/healthz /metrics /state; see docs/observability.md)")
-		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
-		traceOn  = flag.Bool("trace-spans", false, "record causal sample spans and serve them at /spans on the -ctl address")
-		record   = flag.String("record", "", "flight-recorder directory: capture this daemon's causal spans (requires -trace-spans) to <dir>/monitord-<machine>.mrl (see docs/recordlog.md)")
+		machine   = flag.String("machine", "", "machine name in the solver's model (required)")
+		solver    = flag.String("solver", "127.0.0.1:8367", "solver daemon UDP address")
+		interval  = flag.Duration("interval", time.Second, "sampling interval")
+		procRoot  = flag.String("proc", "/proc", "proc filesystem root")
+		disk      = flag.String("disk", "", "disk device to watch (default: auto-detect)")
+		nic       = flag.String("nic", "", "network interface to watch (default: none)")
+		nicCap    = flag.Float64("nic-capacity", 125e6, "NIC capacity in bytes/second")
+		synCPU    = flag.Float64("synthetic-cpu", -1, "fixed synthetic CPU utilization in [0,1] (disables /proc)")
+		synDisk   = flag.Float64("synthetic-disk", 0, "fixed synthetic disk utilization (with -synthetic-cpu)")
+		warp      = flag.Float64("warp", 0, "virtual-time warp factor: emulated seconds per wall second (0 = real time)")
+		ctlAddr   = flag.String("ctl", "", "HTTP control-plane address, e.g. 127.0.0.1:9368 (/healthz /metrics /state; see docs/observability.md)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -ctl address")
+		traceOn   = flag.Bool("trace-spans", false, "record causal sample spans and serve them at /spans on the -ctl address")
+		record    = flag.String("record", "", "flight-recorder directory: capture this daemon's causal spans (requires -trace-spans) to <dir>/monitord-<machine>.mrl (see docs/recordlog.md)")
+		recordMax = flag.Int64("record-max-bytes", 0, "rotate the flight-recorder file into numbered segments once one exceeds this many bytes (0 = one unbounded file)")
+		alertsArg = flag.String("alerts", "", "alert rules: \"default\" for the built-in set, or a JSON rule file; monitord has no temperatures, so only health rules are live (missed-ticks watches send errors, record-drops the recorder); served at /alerts on the -ctl address")
 	)
 	flag.Parse()
 	if *machine == "" {
@@ -98,6 +101,7 @@ func main() {
 	}
 	// Flight recorder: monitord's only recordable stream is its causal
 	// sample spans, so -record rides on -trace-spans.
+	var rec *recordlog.Writer
 	if *record != "" {
 		if tracer == nil {
 			fmt.Fprintln(os.Stderr, "monitord: -record requires -trace-spans")
@@ -108,11 +112,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "monitord:", err)
 			os.Exit(1)
 		}
-		rec, err := recordlog.Create(filepath.Join(*record, node+".mrl"), node, clk)
+		w, err := recordlog.Create(filepath.Join(*record, node+".mrl"), node, clk,
+			recordlog.WithMaxBytes(*recordMax))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "monitord:", err)
 			os.Exit(1)
 		}
+		rec = w
 		defer func() {
 			rec.Close()
 			if d := rec.Drops(); d > 0 {
@@ -135,10 +141,45 @@ func main() {
 		os.Exit(1)
 	}
 	defer d.Close()
+	// Alerting: monitord owns no temperatures, so the engine runs
+	// health-only — send errors surface through the missed-ticks slot,
+	// recorder drops through record-drops. Evaluated once per sampling
+	// interval on the daemon's clock.
+	var eng *alert.Engine
+	if *alertsArg != "" {
+		rules, err := alert.LoadRules(*alertsArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monitord:", err)
+			os.Exit(2)
+		}
+		eng, err = alert.New(alert.Config{
+			Rules: rules,
+			Step:  *interval,
+			Health: func() (uint64, uint64, uint64) {
+				var drops uint64
+				if rec != nil {
+					drops = rec.Drops()
+				}
+				return d.Errors(), 0, drops
+			},
+			Registry: reg,
+			Clock:    clk,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monitord:", err)
+			os.Exit(2)
+		}
+		if rec != nil {
+			eng.Transitions().SetSink(rec.RecordAlert)
+		}
+	}
 	if *ctlAddr != "" {
 		ctlOpts := []ctl.Option{
 			ctl.WithRegistry(reg),
 			ctl.WithState(func() any { return d.StateSnapshot() }),
+		}
+		if eng != nil {
+			ctlOpts = append(ctlOpts, ctl.WithAlerts(func() any { return eng.State() }, eng.Transitions()))
 		}
 		if tracer != nil {
 			ctlOpts = append(ctlOpts, ctl.WithTracer(tracer))
@@ -158,6 +199,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if eng != nil {
+		tclk := clk
+		if tclk == nil {
+			tclk = clock.Real{}
+		}
+		go func() {
+			tick := tclk.NewTicker(*interval)
+			defer tick.Stop()
+			var n uint64
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C():
+					n++
+					eng.EvalTick(n)
+				}
+			}
+		}()
+	}
 	fmt.Printf("monitord: reporting %s to %s every %v\n", *machine, *solver, *interval)
 	if err := d.Run(ctx); err != nil && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "monitord:", err)

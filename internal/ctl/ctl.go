@@ -8,6 +8,11 @@
 //	GET  /events   — thermal event log; SSE stream by default
 //	                 (?from=<seq> replays retained events first),
 //	                 one JSON array with ?format=json
+//	GET  /alerts   — alert-transition stream from the daemon's alert
+//	                 engine; SSE by default (?from=<seq> replays
+//	                 retained transitions first), full engine snapshot
+//	                 with ?format=json; 404 unless the daemon attached
+//	                 an engine (-alerts)
 //	GET  /spans    — causal-trace span ring as a JSON array
 //	                 (?from=<seq> returns spans emitted after seq);
 //	                 404 unless the daemon attached a tracer
@@ -84,6 +89,17 @@ func WithWhatIf(fn func(q *surrogate.Query, fallback bool) (*surrogate.Answer, e
 	return func(s *Server) { s.whatIfFn = fn }
 }
 
+// WithAlerts serves the daemon's alert engine at /alerts: state is
+// called per ?format=json request (the engine snapshot), transitions
+// is the engine's pending/firing/resolved event log streamed as SSE.
+// Both must be safe for concurrent use (alert.Engine's are).
+func WithAlerts(state func() any, transitions *telemetry.EventLog) Option {
+	return func(s *Server) {
+		s.alertFn = state
+		s.alerts = transitions
+	}
+}
+
 // WithTracer serves the daemon's causal-span ring at /spans.
 func WithTracer(t *causal.Tracer) Option {
 	return func(s *Server) { s.tracer = t }
@@ -115,6 +131,8 @@ type Server struct {
 	stateFn  func() any
 	fiddleFn func(*wire.FiddleOp) error
 	whatIfFn func(*surrogate.Query, bool) (*surrogate.Answer, error)
+	alertFn  func() any
+	alerts   *telemetry.EventLog
 	tracer   *causal.Tracer
 	pprof    bool
 	extra    []mount
@@ -144,6 +162,7 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/state", s.handleState)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/spans", s.handleSpans)
 	s.mux.HandleFunc("/fiddle", s.handleFiddle)
 	s.mux.HandleFunc("/whatif", s.handleWhatIf)
@@ -248,14 +267,41 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(s.events.Since(from))
 		return
 	}
-	s.streamEvents(w, r, from)
+	s.streamEvents(w, r, s.events, from)
 }
 
-// streamEvents serves /events as Server-Sent Events: the retained
-// backlog past `from` first, then live events until the client goes
-// away. Event IDs are log sequence numbers, so a dropped client can
-// resume with ?from=<last id>.
-func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, from uint64) {
+// handleAlerts serves the alert engine: ?format=json returns the
+// engine's full snapshot (rules, instance states, transition
+// timeline), the default is an SSE stream of state transitions with
+// the same ?from= resume semantics as /events.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.alertFn == nil || s.alerts == nil {
+		http.NotFound(w, r)
+		return
+	}
+	from, err := parseFrom(r.URL.Query().Get("from"))
+	if err != nil {
+		http.Error(w, "ctl: bad from parameter", http.StatusBadRequest)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.alertFn()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	s.streamEvents(w, r, s.alerts, from)
+}
+
+// streamEvents serves an event log as Server-Sent Events: the
+// retained backlog past `from` first, then live events until the
+// client goes away. Event IDs are log sequence numbers, so a dropped
+// client can resume with ?from=<last id>. Shared by /events and
+// /alerts.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, log *telemetry.EventLog, from uint64) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "ctl: streaming unsupported", http.StatusNotImplemented)
@@ -265,7 +311,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, from uint6
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	ch, cancel := s.events.Subscribe(256)
+	ch, cancel := log.Subscribe(256)
 	defer cancel()
 
 	write := func(e telemetry.Event) bool {
@@ -281,7 +327,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, from uint6
 	}
 
 	last := from
-	for _, e := range s.events.Since(from) {
+	for _, e := range log.Since(from) {
 		if !write(e) {
 			return
 		}

@@ -398,3 +398,88 @@ func TestEventsBadFrom(t *testing.T) {
 		}
 	}
 }
+
+// TestAlertsNotFound: /alerts is 404 when no engine is attached.
+func TestAlertsNotFound(t *testing.T) {
+	srv := New()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("GET /alerts with no engine = %d, want 404", rec.Code)
+	}
+}
+
+// TestAlertsJSONSnapshot: ?format=json returns the engine snapshot
+// from the state func, not the transition stream.
+func TestAlertsJSONSnapshot(t *testing.T) {
+	transitions := telemetry.NewEventLog(16, nil)
+	srv := New(WithAlerts(func() any {
+		return map[string]any{"rules": 9, "firing": 1}
+	}, transitions))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts?format=json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /alerts?format=json = %d", rec.Code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["rules"] != float64(9) || snap["firing"] != float64(1) {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+// TestAlertsSSEWraparoundReplay mirrors TestEventsSSEWraparoundReplay
+// for the /alerts stream: a client resuming from a sequence number
+// that has already been evicted from the transitions ring gets the
+// oldest retained transition first, no repeats, no gaps it could have
+// avoided.
+func TestAlertsSSEWraparoundReplay(t *testing.T) {
+	transitions := telemetry.NewEventLog(4, nil)
+	srv := New(WithAlerts(func() any { return nil }, transitions))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Overflow the ring: seqs 1..10 emitted, only 7..10 retained.
+	for i := 0; i < 10; i++ {
+		transitions.Emit(telemetry.EvAlertFiring, fmt.Sprintf("m%d", i+1), "cpu", float64(i), "high-temp")
+	}
+
+	resp, err := http.Get("http://" + addr + "/alerts?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	var ids []string
+	deadline := time.After(5 * time.Second)
+	for len(ids) < 4 {
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				close(lineCh)
+			}
+		}()
+		select {
+		case <-deadline:
+			t.Fatalf("timed out; ids=%v", ids)
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("stream closed early; ids=%v", ids)
+			}
+			if strings.HasPrefix(line, "id: ") {
+				ids = append(ids, strings.TrimPrefix(line, "id: "))
+			}
+		}
+	}
+	if want := []string{"7", "8", "9", "10"}; !equalStrings(ids, want) {
+		t.Errorf("alert replay across wraparound = %v, want %v", ids, want)
+	}
+}

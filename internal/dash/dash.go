@@ -99,6 +99,29 @@ type TargetState struct {
 	Shard string `json:"shard,omitempty"`
 	// State is the target's own /state document, embedded verbatim.
 	State json.RawMessage `json:"state,omitempty"`
+	// Alerts is the target's /alerts snapshot, embedded verbatim
+	// (omitted when the target runs no alert engine); AlertsPending
+	// and AlertsFiring lift its instance counters for the cluster
+	// alert panel, which keys firing alerts by target name and Shard.
+	Alerts        json.RawMessage `json:"alerts,omitempty"`
+	AlertsPending int             `json:"alerts_pending,omitempty"`
+	AlertsFiring  int             `json:"alerts_firing,omitempty"`
+}
+
+// alertCounts lifts the pending/firing instance counters out of a
+// target's /alerts snapshot.
+func alertCounts(raw json.RawMessage) (pending, firing int) {
+	if raw == nil {
+		return 0, 0
+	}
+	var s struct {
+		Pending int `json:"pending"`
+		Firing  int `json:"firing"`
+	}
+	if json.Unmarshal(raw, &s) != nil {
+		return 0, 0
+	}
+	return s.Pending, s.Firing
 }
 
 // shardLabel extracts a sharded solverd's "region/regions" label from
@@ -124,6 +147,10 @@ type ClusterState struct {
 	Emergencies int           `json:"emergencies"`
 	Recovered   int           `json:"recovered"`
 	Timeline    int           `json:"timeline_len"`
+	// AlertsPending and AlertsFiring sum the per-target alert
+	// counters — the cluster-wide alert panel's headline numbers.
+	AlertsPending int `json:"alerts_pending"`
+	AlertsFiring  int `json:"alerts_firing"`
 }
 
 // Entry is one row of the merged cluster timeline: either an event or
@@ -154,6 +181,7 @@ type Aggregator struct {
 	spans     map[uint64]srcSpan           // deduplicated by content-derived span ID
 	acct      map[uint64]*traceAcct        // per trace ID
 	states    map[string]json.RawMessage
+	alerts    map[string]json.RawMessage // per target /alerts snapshot
 	metrics   map[string]map[string]float64
 	lastErr   map[string]string
 }
@@ -175,6 +203,7 @@ func New(targets []Target, reg *telemetry.Registry) *Aggregator {
 		spans:     map[uint64]srcSpan{},
 		acct:      map[uint64]*traceAcct{},
 		states:    map[string]json.RawMessage{},
+		alerts:    map[string]json.RawMessage{},
 		metrics:   map[string]map[string]float64{},
 		lastErr:   map[string]string{},
 	}
@@ -231,6 +260,12 @@ func (a *Aggregator) Backfill(dir string) (BackfillStats, error) {
 	}
 	sort.Strings(matches)
 	for _, path := range matches {
+		// Rotation segments (base.1.mrl, …) are not separate captures:
+		// ReadLog stitches them back through their base file, so
+		// ingesting them here would double-count every record.
+		if recordlog.IsSegment(path) {
+			continue
+		}
 		log, err := recordlog.ReadLog(path)
 		if err != nil {
 			return st, fmt.Errorf("dash: backfill %s: %w", path, err)
@@ -301,6 +336,18 @@ func (a *Aggregator) pollTarget(ctx context.Context, t Target) error {
 	} else {
 		a.mu.Lock()
 		a.states[t.Name] = raw
+		a.mu.Unlock()
+	}
+
+	// Alerts snapshot, embedded verbatim. Daemons without an alert
+	// engine (no -alerts flag) answer 404; that is not an error.
+	if raw, err := a.getRaw(ctx, t.URL+"/alerts?format=json"); err != nil {
+		if !strings.Contains(err.Error(), "404") {
+			note(err)
+		}
+	} else {
+		a.mu.Lock()
+		a.alerts[t.Name] = raw
 		a.mu.Unlock()
 	}
 
@@ -551,8 +598,12 @@ func (a *Aggregator) State() ClusterState {
 			Metrics: a.metrics[t.Name],
 			Shard:   shardLabel(a.states[t.Name]),
 			State:   a.states[t.Name],
+			Alerts:  a.alerts[t.Name],
 			Error:   a.lastErr[t.Name],
 		}
+		ts.AlertsPending, ts.AlertsFiring = alertCounts(ts.Alerts)
+		cs.AlertsPending += ts.AlertsPending
+		cs.AlertsFiring += ts.AlertsFiring
 		ts.Healthy = ts.Error == "" && (ts.Events > 0 || ts.Metrics != nil)
 		for _, s := range a.spans {
 			if s.Source == t.Name {

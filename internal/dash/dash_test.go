@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/darklab/mercury/internal/alert"
 	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/ctl"
@@ -304,5 +305,55 @@ func TestChromeTraceGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("Chrome trace export differs from golden; run with -update after intentional changes\ngot:\n%s", got)
+	}
+}
+
+// TestAggregateAlerts checks that a target's /alerts snapshot is
+// embedded in the aggregate state with its pending/firing counters
+// lifted and summed cluster-wide, and that alert-less targets stay
+// healthy (their 404 is tolerated, like /spans).
+func TestAggregateAlerts(t *testing.T) {
+	clk := clock.NewVirtual()
+	eng, err := alert.New(alert.Config{
+		Rules:  []alert.Rule{{Name: "hot", Kind: "threshold"}},
+		Step:   time.Second,
+		Probes: []alert.Probe{{Machine: "machine1", Node: "cpu", Low: 64, High: 67, RedLine: 71}},
+		Fill:   func(dst []float64) int { dst[0] = 70; return 1 },
+		Clock:  clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.EvalTick(1) // 70C > High 67C with no for-duration: firing at once
+
+	srvA := ctl.New(ctl.WithAlerts(func() any { return eng.State() }, eng.Transitions()))
+	addrA, err := srvA.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvA.Close() })
+	srvB := ctl.New(ctl.WithState(func() any { return map[string]any{"machines": 1} }))
+	addrB, err := srvB.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvB.Close() })
+
+	a := New([]Target{
+		{Name: "solverd", URL: "http://" + addrA},
+		{Name: "monitord1", URL: "http://" + addrB},
+	}, nil)
+	if err := a.PollOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cs := a.State()
+	if cs.AlertsFiring != 1 || cs.AlertsPending != 0 {
+		t.Errorf("cluster firing=%d pending=%d, want 1 and 0", cs.AlertsFiring, cs.AlertsPending)
+	}
+	if ts := cs.Targets[0]; ts.Alerts == nil || ts.AlertsFiring != 1 {
+		t.Errorf("solverd alerts=%s firing=%d, want snapshot and 1", ts.Alerts, ts.AlertsFiring)
+	}
+	if ts := cs.Targets[1]; ts.Alerts != nil || ts.Error != "" {
+		t.Errorf("alert-less target: alerts=%s err=%q, want none", ts.Alerts, ts.Error)
 	}
 }

@@ -210,10 +210,33 @@ type MachineState struct {
 	Phase      string             `json:"phase,omitempty"` // Freon-EC only
 }
 
+// ComponentThresholds is one monitored component's configured
+// Low/High/RedLine lines, exposed in /state so clients (and alert
+// rule files) can see what the policy reacts to.
+type ComponentThresholds struct {
+	Node    string  `json:"node"`
+	Low     float64 `json:"low"`
+	High    float64 `json:"high"`
+	RedLine float64 `json:"redline"`
+}
+
+// componentThresholds renders a (defaulted) Config's component table
+// for a snapshot.
+func componentThresholds(cfg Config) []ComponentThresholds {
+	out := make([]ComponentThresholds, 0, len(cfg.Components))
+	for _, c := range cfg.Components {
+		out = append(out, ComponentThresholds{
+			Node: c.Node, Low: float64(c.Low), High: float64(c.High), RedLine: float64(c.RedLine),
+		})
+	}
+	return out
+}
+
 // Snapshot is a policy's /state document.
 type Snapshot struct {
-	Machines     []MachineState `json:"machines"`
-	OfflineCount int            `json:"offline_count"`
+	Machines     []MachineState        `json:"machines"`
+	Thresholds   []ComponentThresholds `json:"thresholds,omitempty"`
+	OfflineCount int                   `json:"offline_count"`
 	// Freon-EC extras (zero under the base policy).
 	ActiveCount  int `json:"active_count,omitempty"`
 	PoweredCount int `json:"powered_count,omitempty"`
@@ -227,7 +250,7 @@ type Snapshot struct {
 func (f *Freon) StateSnapshot() Snapshot {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	snap := Snapshot{}
+	snap := Snapshot{Thresholds: componentThresholds(f.cfg)}
 	for _, m := range f.order {
 		ms := MachineState{Machine: m, Offline: f.offline[m]}
 		if r, ok := f.reports[m]; ok {

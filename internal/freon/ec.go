@@ -631,6 +631,7 @@ func (e *EC) StateSnapshot() Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	snap := Snapshot{
+		Thresholds:  componentThresholds(e.cfg.Config),
 		ActiveCount: e.activeCount(),
 		TurnOns:     e.turnOns,
 		TurnOffs:    e.turnOffs,

@@ -300,6 +300,10 @@ func (d *Daemon) StateSnapshot() State {
 // network. Safe to read while Run is looping.
 func (d *Daemon) Sent() uint64 { return d.sent.Load() }
 
+// Errors returns the number of failed report attempts (health rules
+// watch this through the alert engine's missed-ticks counter slot).
+func (d *Daemon) Errors() uint64 { return d.errs.Load() }
+
 // Run samples on the configured interval until ctx is done. Transient
 // sample or send failures are tolerated (the solver just keeps the
 // previous utilization, as with any lost UDP datagram); Run returns

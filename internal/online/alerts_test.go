@@ -1,0 +1,182 @@
+package online_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/alert"
+	"github.com/darklab/mercury/internal/online"
+	"github.com/darklab/mercury/internal/recordlog"
+	"github.com/darklab/mercury/internal/telemetry"
+)
+
+// TestOnlineFig11AlertsGolden pins the Figure 11 alert timeline: the
+// default rule set over the full 2000 s emergency produces a
+// bit-identical transition sequence across repeated runs, across shard
+// counts, and across a flight-recorder capture — and the predictive
+// redline alert fires strictly before Freon's own reactive emergency
+// edge. Run with -update to regenerate the golden after an intentional
+// rule change.
+func TestOnlineFig11AlertsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2000s runs; skipped in -short")
+	}
+	base := online.Config{
+		Duration: 2000 * time.Second,
+		Script:   online.Fig11Script,
+		Alerts:   alert.Defaults(),
+	}
+
+	recCfg := base
+	recCfg.Record = t.TempDir()
+	res, err := online.Run(recCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alerts) == 0 {
+		t.Fatal("Config.Alerts set but no transitions recorded over the Fig 11 emergency")
+	}
+
+	var b strings.Builder
+	for _, e := range res.Alerts {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "fig11_alerts.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("alert timeline diverges from golden at line %d:\n  got:  %s\n  want: %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("alert timeline length differs from golden: got %d lines, want %d",
+			len(gotLines), len(wantLines))
+	}
+
+	// The headline property: prediction beats reaction. The first
+	// predicted-redline firing must come strictly before Freon's first
+	// reactive emergency edge.
+	var predictedAt, raisedAt time.Duration = -1, -1
+	for _, e := range res.Alerts {
+		if e.Type == telemetry.EvAlertFiring && e.Detail == "predicted-redline" {
+			predictedAt = e.At
+			break
+		}
+	}
+	for _, e := range res.Events {
+		if e.Type == telemetry.EvEmergencyRaised {
+			raisedAt = e.At
+			break
+		}
+	}
+	if predictedAt < 0 {
+		t.Fatal("predicted-redline never fired over the Fig 11 emergency")
+	}
+	if raisedAt < 0 {
+		t.Fatal("no reactive emergency edge in the Fig 11 run")
+	}
+	if predictedAt >= raisedAt {
+		t.Fatalf("predicted-redline fired at %v, not before the reactive emergency at %v",
+			predictedAt, raisedAt)
+	}
+
+	// Alert transitions also land in the shared event log, so /events
+	// consumers and the EVT capture stream see them interleaved with
+	// Freon's decisions.
+	shared := 0
+	for _, e := range res.Events {
+		switch e.Type {
+		case telemetry.EvAlertPending, telemetry.EvAlertFiring, telemetry.EvAlertResolved:
+			shared++
+		}
+	}
+	if shared != len(res.Alerts) {
+		t.Errorf("shared event log carries %d alert transitions, timeline has %d", shared, len(res.Alerts))
+	}
+
+	// Capture fidelity: the ALT stream read back from disk is the live
+	// timeline, bit for bit.
+	if res.RecordDrops != 0 {
+		t.Fatalf("recorder dropped %d records during a healthy run", res.RecordDrops)
+	}
+	rlog, err := recordlog.ReadLog(res.RecordPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rlog.Alerts) != len(res.Alerts) {
+		t.Fatalf("captured %d alert transitions, live run had %d", len(rlog.Alerts), len(res.Alerts))
+	}
+	for i := range res.Alerts {
+		if rlog.Alerts[i] != res.Alerts[i] {
+			t.Fatalf("alert %d differs:\n  captured: %s\n  live:     %s", i, rlog.Alerts[i], res.Alerts[i])
+		}
+	}
+
+	// Determinism across runs and across shard counts: a plain rerun
+	// and a two-shard run must reproduce the timeline bit for bit.
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"rerun", 1},
+		{"sharded", 2},
+	} {
+		cfg := base
+		cfg.Shards = tc.shards
+		other, err := online.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(other.Alerts) != len(res.Alerts) {
+			t.Fatalf("%s: %d transitions, want %d", tc.name, len(other.Alerts), len(res.Alerts))
+		}
+		for i := range res.Alerts {
+			if other.Alerts[i] != res.Alerts[i] {
+				t.Fatalf("%s: alert %d differs:\n  got:  %s\n  want: %s",
+					tc.name, i, other.Alerts[i], res.Alerts[i])
+			}
+		}
+	}
+}
+
+// TestOnlineAlertsDisabled pins the no-op path: without Config.Alerts
+// the run carries no engine, no timeline, and no alert events.
+func TestOnlineAlertsDisabled(t *testing.T) {
+	res, err := online.Run(online.Config{Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alerts != nil {
+		t.Fatalf("Alerts = %v without Config.Alerts", res.Alerts)
+	}
+	for _, e := range res.Events {
+		switch e.Type {
+		case telemetry.EvAlertPending, telemetry.EvAlertFiring, telemetry.EvAlertResolved:
+			t.Fatalf("alert event %s in a run without alerting", e)
+		}
+	}
+}

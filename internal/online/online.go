@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/darklab/mercury/internal/alert"
 	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/ctl"
@@ -111,6 +112,15 @@ type Config struct {
 	// its region's inputs, so a local fit cannot answer room-wide
 	// questions.
 	Surrogate bool
+	// Alerts, when non-nil, attaches the deterministic alerting/SLO
+	// engine (internal/alert) to the run: the harness evaluates the
+	// rule set once per emulated second, right after the solver step,
+	// over the full cluster's post-step temperatures — identically for
+	// single-daemon and sharded runs. Transitions land in the shared
+	// event log and in Result.Alerts; when CtlAddr is set they stream
+	// at /alerts; when Record is set they persist as ALT records.
+	// alert.Defaults() is the paper-tuned rule set.
+	Alerts []alert.Rule
 	// Record, when non-empty, is a directory receiving a durable
 	// binary flight-recorder capture of the run
 	// (<Record>/online.mrl): every event, span, sampled temperature
@@ -118,6 +128,11 @@ type Config struct {
 	// warp speed by cmd/mercury-replay (see docs/recordlog.md).
 	// Single-shard runs only. Result.RecordPath reports the file.
 	Record string
+	// RecordMaxBytes rotates the capture into numbered segments
+	// (online.mrl, online.1.mrl, …) once a segment exceeds this many
+	// bytes; recordlog.ReadLog stitches them back together. 0 keeps
+	// one unbounded file.
+	RecordMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +199,11 @@ type Result struct {
 	// Surrogate reports the what-if surrogate's counters (nil unless
 	// Config.Surrogate).
 	Surrogate *surrogate.FitStats
+	// Alerts is the alert-transition timeline, oldest first (nil
+	// unless Config.Alerts). Stamped on exact tick boundaries of the
+	// virtual clock, it is bit-identical across runs, shard counts,
+	// and record/replay (the Figure 11 alerts golden pins it).
+	Alerts []telemetry.Event
 	// RecordPath is the flight-recorder file written when
 	// Config.Record is set; RecordDrops counts records lost to a full
 	// recorder ring (0 on a healthy capture).
@@ -223,7 +243,8 @@ func Run(cfg Config) (*Result, error) {
 		if err := os.MkdirAll(cfg.Record, 0o755); err != nil {
 			return nil, fmt.Errorf("online: record dir: %w", err)
 		}
-		w, err := recordlog.Create(filepath.Join(cfg.Record, "online.mrl"), "online", clk)
+		w, err := recordlog.Create(filepath.Join(cfg.Record, "online.mrl"), "online", clk,
+			recordlog.WithMaxBytes(cfg.RecordMaxBytes))
 		if err != nil {
 			return nil, fmt.Errorf("online: record: %w", err)
 		}
@@ -335,6 +356,63 @@ func Run(cfg Config) (*Result, error) {
 		return s.ApplyFiddle(op)
 	}
 
+	// Cluster machine names, in the canonical cluster order everything
+	// below indexes by.
+	names := make([]string, cfg.Machines)
+	for i := range names {
+		names[i] = fmt.Sprintf("machine%d", i+1)
+	}
+
+	// Effective Freon component table; the alert engine derives each
+	// probe's Low/High/RedLine from it, and the Freon section below
+	// monitors exactly these components.
+	comps := cfg.Freon.Components
+	if comps == nil {
+		comps = freon.DefaultComponents()
+	}
+
+	// Alerting: one engine for the whole room, driven from the harness
+	// goroutine after every solver step, never from the daemons — the
+	// evaluation order (and so the transition timeline) is then the
+	// same no matter how many shards step the model.
+	var eng *alert.Engine
+	if cfg.Alerts != nil {
+		probes, fill := alertProbes(servers, names, comps)
+		acfg := alert.Config{
+			Rules:  cfg.Alerts,
+			Step:   time.Second,
+			Probes: probes,
+			Fill:   fill,
+			Health: func() (uint64, uint64, uint64) {
+				var missed, boundary, drops uint64
+				for _, s := range servers {
+					missed += s.Stats().MissedTicks.Load()
+					boundary += s.Stats().BoundaryMissed.Load()
+				}
+				if rec != nil {
+					drops = rec.Drops()
+				}
+				return missed, boundary, drops
+			},
+			Events:   events,
+			Registry: reg,
+			Clock:    clk,
+		}
+		if surro != nil {
+			acfg.Residual = func() (float64, float64, bool) {
+				st := surro.Stats()
+				return st.MaxResidualC, surro.ResidualTolerance(), st.FitGeneration > 0
+			}
+			acfg.ETA = surro.TimeToThreshold
+		}
+		if eng, err = alert.New(acfg); err != nil {
+			return nil, fmt.Errorf("online: alerts: %w", err)
+		}
+		if rec != nil {
+			eng.Transitions().SetSink(rec.RecordAlert)
+		}
+	}
+
 	ctlAddr := ""
 	if cfg.CtlAddr != "" {
 		ctlOpts := []ctl.Option{
@@ -345,6 +423,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if tracer != nil {
 			ctlOpts = append(ctlOpts, ctl.WithTracer(tracer))
+		}
+		if eng != nil {
+			ctlOpts = append(ctlOpts, ctl.WithAlerts(func() any { return eng.State() }, eng.Transitions()))
 		}
 		cs := ctl.New(ctlOpts...)
 		ctlAddr, err = cs.Start(cfg.CtlAddr)
@@ -357,10 +438,6 @@ func Run(cfg Config) (*Result, error) {
 	// Emulated web cluster and workload, exactly as experiments.NewSim
 	// builds them.
 	bal := lvs.New()
-	names := make([]string, cfg.Machines)
-	for i := range names {
-		names[i] = fmt.Sprintf("machine%d", i+1)
-	}
 	wc, err := webcluster.New(bal, names, webcluster.Config{})
 	if err != nil {
 		return nil, err
@@ -464,10 +541,6 @@ func Run(cfg Config) (*Result, error) {
 	// sensor library (one UDP round trip per read, as on live
 	// hardware) and actuating the balancer locally, as admd does on
 	// the LVS machine.
-	comps := cfg.Freon.Components
-	if comps == nil {
-		comps = freon.DefaultComponents()
-	}
 	sens := udpSensors{sensors: map[string]map[string]*sensor.Sensor{}}
 	nodes := map[string]bool{model.NodeCPU: true}
 	for _, comp := range comps {
@@ -593,6 +666,13 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 
+		// Still at t = sec+1.25, with every shard stepped and Freon not
+		// yet woken: the alert engine evaluates tick sec+1 over the
+		// post-step temperatures, stamping transitions at exactly
+		// (sec+1)s. Predictive rules therefore see — and can fire on —
+		// the same temperatures Freon is about to react to.
+		eng.EvalTick(uint64(sec + 1))
+
 		// t -> sec+1.5: Freon observes the post-step temperatures.
 		clk.Advance(250 * time.Millisecond)
 		wantPolls := uint64((sec + 1) / pollSecs)
@@ -645,6 +725,9 @@ func Run(cfg Config) (*Result, error) {
 		st := surro.Stats()
 		res.Surrogate = &st
 	}
+	if eng != nil {
+		res.Alerts = eng.Timeline()
+	}
 	if rec != nil {
 		// All emitters are quiescent (runner drained, no further clock
 		// advances), so Close flushes a complete capture.
@@ -656,6 +739,73 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.CtlAddr = ctlAddr
 	return res, nil
+}
+
+// alertProbes builds the canonical full-cluster probe list — machines
+// in cluster order, each machine's nodes in its compiled node order,
+// thresholds resolved from the Freon component table — plus an
+// allocation-free Fill that scatters every shard's ReadAllTemps into
+// that order. With one shard the solver's own Probes order already is
+// canonical, so Fill is ReadAllTemps itself; with several, each shard
+// reports only its owned region and the columns are stitched back
+// into cluster order, so the engine sees byte-identical input either
+// way.
+func alertProbes(servers []*solverd.Server, names []string, comps []freon.ComponentSpec) ([]alert.Probe, func([]float64) int) {
+	thr := map[string]freon.Thresholds{}
+	for _, c := range comps {
+		thr[c.Node] = c.Thresholds
+	}
+	mk := func(machine, node string) alert.Probe {
+		t := thr[node]
+		return alert.Probe{
+			Machine: machine, Node: node,
+			Low: float64(t.Low), High: float64(t.High), RedLine: float64(t.RedLine),
+		}
+	}
+	if len(servers) == 1 {
+		sol := servers[0].Solver()
+		ms, ns := sol.Probes()
+		probes := make([]alert.Probe, len(ms))
+		for i := range ms {
+			probes[i] = mk(ms[i], ns[i])
+		}
+		return probes, sol.ReadAllTemps
+	}
+	type col struct{ shard, idx int }
+	var probes []alert.Probe
+	var srcs []col
+	scratch := make([][]float64, len(servers))
+	shardMs := make([][]string, len(servers))
+	shardNs := make([][]string, len(servers))
+	for s, srv := range servers {
+		shardMs[s], shardNs[s] = srv.Solver().Probes()
+		scratch[s] = make([]float64, len(shardMs[s]))
+	}
+	for _, m := range names {
+		for s := range servers {
+			for i, pm := range shardMs[s] {
+				if pm != m {
+					continue
+				}
+				probes = append(probes, mk(m, shardNs[s][i]))
+				srcs = append(srcs, col{shard: s, idx: i})
+			}
+		}
+	}
+	fill := func(dst []float64) int {
+		for s := range servers {
+			servers[s].Solver().ReadAllTemps(scratch[s])
+		}
+		n := len(srcs)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = scratch[srcs[i].shard][srcs[i].idx]
+		}
+		return n
+	}
+	return probes, fill
 }
 
 // waitFor yields until cond holds: a short Gosched burst for the

@@ -71,6 +71,7 @@ const (
 	RecFiddle   byte = 0x06 // applied fiddle op with solver tick
 	RecBoundary byte = 0x07 // imported boundary temps (sharded runs)
 	RecMeta     byte = 0x08 // run metadata (step size, machine count)
+	RecAlert    byte = 0x09 // alert state transition (internal/alert)
 )
 
 // Fixed string field widths.
@@ -106,6 +107,7 @@ const (
 	recFiddleSize   = 8 + 8 + 1 + 1 + 1 + 5 + fiddleMaxStrings*strMachine + fiddleMaxFloats*8 // 128
 	recBoundarySize = 8 + 2 + 2 + 4 + boundaryChunk*(4+8)                                     // 496
 	recMetaSize     = 8 + 4 + 4                                                               // 16
+	recAlertSize    = recEventSize                                                            // 160
 )
 
 const formatLayoutLen = 112
@@ -142,6 +144,7 @@ var formats = []FormatRecord{
 	{RecFiddle, recFiddleSize, "FDL", "Q q B B B x5 3*z24 4*d tick,at,op,nstr,nfloat,strings,floats"},
 	{RecBoundary, recBoundarySize, "BND", "Q H H x4 40*(I d) tick,region,count,index,exhaust"},
 	{RecMeta, recMetaSize, "META", "q I x4 step,machines"},
+	{RecAlert, recAlertSize, "ALT", "Q q d z24 z24 z24 z64 seq,at,value,state,machine,node,rule"},
 }
 
 // putStr copies s into the fixed-width field b, NUL-padding the

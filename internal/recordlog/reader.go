@@ -65,6 +65,11 @@ type SpanRecord struct{ Span causal.Span }
 // EventRecord wraps a decoded telemetry event.
 type EventRecord struct{ Event telemetry.Event }
 
+// AltRecord wraps a decoded alert state transition. The payload
+// mirrors RecEvent: Type is the transition
+// (alert-pending/firing/resolved), Detail the rule name.
+type AltRecord struct{ Event telemetry.Event }
+
 func (*FormatRecord) rec()   {}
 func (*SpanRecord) rec()     {}
 func (*EventRecord) rec()    {}
@@ -74,6 +79,7 @@ func (*UtilRecord) rec()     {}
 func (*FiddleRecord) rec()   {}
 func (*BoundaryRecord) rec() {}
 func (*MetaRecord) rec()     {}
+func (*AltRecord) rec()      {}
 
 // Reader streams records from one flight-recorder file. Decode
 // errors are strict: a truncated tail returns *TruncatedError
@@ -195,6 +201,8 @@ func decodeRecord(typ byte, payload []byte) (rec Record, known, ok bool) {
 		size = recBoundarySize
 	case RecMeta:
 		size = recMetaSize
+	case RecAlert:
+		size = recAlertSize
 	default:
 		return nil, false, false
 	}
@@ -224,6 +232,8 @@ func decodeRecord(typ byte, payload []byte) (rec Record, known, ok bool) {
 	case RecBoundary:
 		b, ok := decodeBoundary(payload)
 		return &b, true, ok
+	case RecAlert:
+		return &AltRecord{Event: decodeEvent(payload)}, true, true
 	default: // RecMeta
 		m := decodeMeta(payload)
 		return &m, true, true
@@ -254,6 +264,7 @@ type Log struct {
 	Machines  int
 	Probes    []telemetry.TempProbe
 	Events    []telemetry.Event
+	Alerts    []telemetry.Event // ALT records: alert transitions, file order
 	Spans     []causal.Span
 	TempRows  []TempRow
 	Inputs    []Input // utils + fiddles, file order preserved
@@ -262,20 +273,46 @@ type Log struct {
 	Skipped   uint64
 }
 
-// ReadLog decodes an entire file. A truncated tail is tolerated
-// (Log.Truncated is set); corruption is returned as *CorruptError.
+// ReadLog decodes an entire capture, stitching rotation segments
+// (base.mrl, base.1.mrl, base.2.mrl, …) in sequence into one Log. A
+// truncated tail on the last segment is tolerated (Log.Truncated is
+// set); corruption is returned as *CorruptError.
 func ReadLog(path string) (*Log, error) {
+	log := &Log{}
+	rowIdx := -1
+	if err := readSegment(log, path, true, &rowIdx); err != nil {
+		return nil, err
+	}
+	for seg := 1; !log.Truncated; seg++ {
+		p := SegmentPath(path, seg)
+		if _, err := os.Stat(p); err != nil {
+			break
+		}
+		if err := readSegment(log, p, false, &rowIdx); err != nil {
+			return nil, err
+		}
+	}
+	return log, nil
+}
+
+// readSegment decodes one segment file into log. Non-first segments
+// skip their (identical) descriptor table; their re-emitted META and
+// probe records overwrite idempotently. rowIdx carries the temp-row
+// reassembly cursor across segments — a chunked row can straddle a
+// rotation boundary.
+func readSegment(log *Log, path string, first bool, rowIdx *int) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
 	r, err := NewReader(f)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	log := &Log{Header: r.Header()}
-	var row *TempRow
+	if first {
+		log.Header = r.Header()
+	}
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
@@ -286,11 +323,13 @@ func ReadLog(path string) (*Log, error) {
 				log.Truncated = true
 				break
 			}
-			return nil, err
+			return err
 		}
 		switch v := rec.(type) {
 		case *FormatRecord:
-			log.Formats = append(log.Formats, *v)
+			if first {
+				log.Formats = append(log.Formats, *v)
+			}
 		case *MetaRecord:
 			log.Step = v.Step
 			log.Machines = v.Machines
@@ -301,14 +340,21 @@ func ReadLog(path string) (*Log, error) {
 			log.Probes[v.Index] = telemetry.TempProbe{Machine: v.Machine, Node: v.Node}
 		case *EventRecord:
 			log.Events = append(log.Events, v.Event)
+		case *AltRecord:
+			log.Alerts = append(log.Alerts, v.Event)
 		case *SpanRecord:
 			log.Spans = append(log.Spans, v.Span)
 		case *TempChunk:
 			// Chunks of one column share a timestamp and arrive in
 			// order; reassemble them into a full row.
+			var row *TempRow
+			if *rowIdx >= 0 {
+				row = &log.TempRows[*rowIdx]
+			}
 			if v.First == 0 || row == nil || row.At != v.At || len(row.Temps) != v.First {
 				log.TempRows = append(log.TempRows, TempRow{At: v.At})
-				row = &log.TempRows[len(log.TempRows)-1]
+				*rowIdx = len(log.TempRows) - 1
+				row = &log.TempRows[*rowIdx]
 			}
 			row.Temps = append(row.Temps, v.Temps...)
 		case *UtilRecord:
@@ -319,6 +365,6 @@ func ReadLog(path string) (*Log, error) {
 			log.Boundary = append(log.Boundary, *v)
 		}
 	}
-	log.Skipped = r.Skipped()
-	return log, nil
+	log.Skipped += r.Skipped()
+	return nil
 }

@@ -1,0 +1,178 @@
+package recordlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/darklab/mercury/internal/clock"
+	"github.com/darklab/mercury/internal/telemetry"
+)
+
+// TestAlertRoundTrip writes alert transitions through the ring and
+// reads them back as Log.Alerts, byte-identical and separate from the
+// ordinary event stream.
+func TestAlertRoundTrip(t *testing.T) {
+	path := tempPath(t)
+	w, err := Create(path, "solverd", clock.NewVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := []telemetry.Event{
+		{Seq: 1, At: 6 * time.Second, Type: telemetry.EvAlertPending, Machine: "machine1", Node: "cpu", Value: 68.5, Detail: "high-temp"},
+		{Seq: 2, At: 16 * time.Second, Type: telemetry.EvAlertFiring, Machine: "machine1", Node: "cpu", Value: 69.25, Detail: "high-temp"},
+		{Seq: 3, At: 40 * time.Second, Type: telemetry.EvAlertResolved, Machine: "machine1", Node: "cpu", Value: 61, Detail: "high-temp"},
+	}
+	for _, e := range alerts {
+		w.RecordAlert(e)
+	}
+	w.RecordEvent(telemetry.Event{Seq: 9, Type: telemetry.EvEmergencyRaised, Machine: "machine1"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Alerts) != len(alerts) {
+		t.Fatalf("read %d alerts, want %d", len(log.Alerts), len(alerts))
+	}
+	for i, got := range log.Alerts {
+		if got != alerts[i] {
+			t.Errorf("alert %d = %+v, want %+v", i, got, alerts[i])
+		}
+	}
+	if len(log.Events) != 1 || log.Events[0].Type != telemetry.EvEmergencyRaised {
+		t.Errorf("events = %+v, want the one emergency event", log.Events)
+	}
+}
+
+// TestRotationStitching drives a writer past its size limit several
+// times and checks that (a) segment files appear, (b) every segment
+// is standalone-readable with the header, descriptor table, and
+// cached META/probe records re-emitted, and (c) ReadLog stitches the
+// chain back into one Log with nothing lost or reordered — including
+// a chunked temperature row that may straddle a rotation boundary.
+func TestRotationStitching(t *testing.T) {
+	path := tempPath(t)
+	clk := clock.NewVirtual()
+	w, err := Create(path, "solverd", clk, WithMaxBytes(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 probes > tempChunk(56) forces two chunks per temp row.
+	probes := make([]telemetry.TempProbe, 60)
+	for i := range probes {
+		probes[i] = telemetry.TempProbe{Machine: fmt.Sprintf("m%d", i/3+1), Node: fmt.Sprintf("n%d", i%3)}
+	}
+	w.RecordMeta(time.Second, 20)
+	w.SetProbes(probes)
+	const rows = 40
+	temps := make([]float64, len(probes))
+	for r := 0; r < rows; r++ {
+		for i := range temps {
+			temps[i] = float64(r*1000 + i)
+		}
+		w.RecordTempRow(time.Duration(r)*time.Second, temps)
+		w.RecordEvent(telemetry.Event{Seq: uint64(r + 1), At: time.Duration(r) * time.Second, Type: telemetry.EvFiddle, Value: float64(r)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Drops() != 0 {
+		t.Fatalf("dropped %d records", w.Drops())
+	}
+	segs := int(w.Segments())
+	if segs < 2 {
+		t.Fatalf("expected ≥2 rotations for %d rows at 4 KiB/segment, got %d", rows, segs)
+	}
+	// Every segment is standalone-readable and self-describing.
+	for s := 1; s <= segs; s++ {
+		p := SegmentPath(path, s)
+		seg, err := ReadLog(p)
+		if err != nil {
+			t.Fatalf("segment %d: %v", s, err)
+		}
+		if seg.Header.Node != "solverd" || !seg.Header.Virtual() {
+			t.Errorf("segment %d header = %+v", s, seg.Header)
+		}
+		if len(seg.Formats) != len(formats) {
+			t.Errorf("segment %d: %d format descriptors, want %d", s, len(seg.Formats), len(formats))
+		}
+		if s == segs { // last segment has no successor to stitch
+			if seg.Step != time.Second || seg.Machines != 20 {
+				t.Errorf("segment %d META = (%v, %d), want (1s, 20)", s, seg.Step, seg.Machines)
+			}
+			if len(seg.Probes) != len(probes) {
+				t.Errorf("segment %d: %d probes, want %d", s, len(seg.Probes), len(probes))
+			}
+		}
+	}
+	if _, err := os.Stat(SegmentPath(path, segs+1)); err == nil {
+		t.Fatalf("unexpected segment %d", segs+1)
+	}
+	// The stitched read sees everything, in order.
+	log, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Truncated {
+		t.Error("stitched log reports a truncated tail")
+	}
+	if len(log.Events) != rows {
+		t.Fatalf("stitched %d events, want %d", len(log.Events), rows)
+	}
+	for r, e := range log.Events {
+		if e.Seq != uint64(r+1) || e.Value != float64(r) {
+			t.Fatalf("event %d = %+v out of order", r, e)
+		}
+	}
+	if len(log.TempRows) != rows {
+		t.Fatalf("stitched %d temp rows, want %d", len(log.TempRows), rows)
+	}
+	for r, row := range log.TempRows {
+		if len(row.Temps) != len(probes) {
+			t.Fatalf("row %d has %d temps, want %d (split across a rotation?)", r, len(row.Temps), len(probes))
+		}
+		if row.At != time.Duration(r)*time.Second || row.Temps[59] != float64(r*1000+59) {
+			t.Fatalf("row %d = at %v temps[59]=%g", r, row.At, row.Temps[59])
+		}
+	}
+	if len(log.Probes) != len(probes) {
+		t.Fatalf("stitched %d probes, want %d", len(log.Probes), len(probes))
+	}
+}
+
+func TestSegmentPaths(t *testing.T) {
+	if got := SegmentPath("/logs/room.mrl", 2); got != "/logs/room.2.mrl" {
+		t.Errorf("SegmentPath = %q", got)
+	}
+	if got := SegmentPath("room.mrl", 0); got != "room.mrl" {
+		t.Errorf("SegmentPath(0) = %q", got)
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "room.mrl")
+	if err := os.WriteFile(base, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "room.1.mrl")
+	if err := os.WriteFile(seg, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !IsSegment(seg) {
+		t.Errorf("IsSegment(%q) = false, want true", seg)
+	}
+	if IsSegment(base) {
+		t.Errorf("IsSegment(%q) = true, want false", base)
+	}
+	// A dotted name with no base file alongside is not a segment.
+	orphan := filepath.Join(dir, "v2.3.mrl")
+	if err := os.WriteFile(orphan, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if IsSegment(orphan) {
+		t.Errorf("IsSegment(%q) = true, want false (no base)", orphan)
+	}
+}

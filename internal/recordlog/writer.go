@@ -3,8 +3,10 @@ package recordlog
 import (
 	"bufio"
 	"encoding/binary"
+	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +43,7 @@ type WriterOption func(*writerConfig)
 type writerConfig struct {
 	ringSize  int
 	autostart bool
+	maxBytes  int64
 }
 
 // WithRingSize sets the record ring capacity (rounded up to a power
@@ -48,6 +51,16 @@ type writerConfig struct {
 // before records are dropped.
 func WithRingSize(n int) WriterOption {
 	return func(c *writerConfig) { c.ringSize = n }
+}
+
+// WithMaxBytes enables size-based rotation: once a segment file
+// exceeds n bytes the writer closes it and continues in the next
+// segment (base.mrl → base.1.mrl → base.2.mrl …). Each segment
+// re-emits the file header (same epoch), the format-descriptor table,
+// and the cached META and probe-identity records, so every segment is
+// self-describing. 0 (the default) disables rotation.
+func WithMaxBytes(n int64) WriterOption {
+	return func(c *writerConfig) { c.maxBytes = n }
 }
 
 // Writer appends records to one flight-recorder file. The Record*
@@ -62,6 +75,21 @@ type Writer struct {
 	clk   clock.Clock
 	epoch time.Time
 	path  string
+	node  string
+	flags byte
+
+	// Rotation state. segBytes/seg are touched only by the consumer
+	// goroutine (and by newWriter before it starts); the cached
+	// META/probe payloads are shared with producers under metaMu.
+	maxBytes int64
+	segBytes int64
+	seg      int
+	segments atomic.Uint64
+
+	metaMu       sync.Mutex
+	metaStep     time.Duration
+	metaMachines int
+	metaProbes   []telemetry.TempProbe
 
 	cells []cell
 	mask  uint64
@@ -110,26 +138,28 @@ func newWriter(path, node string, clk clock.Clock, cfg writerConfig, opts ...Wri
 		return nil, err
 	}
 	w := &Writer{
-		f:      f,
-		bw:     bufio.NewWriterSize(f, 1<<16),
-		clk:    clk,
-		epoch:  clk.Now(),
-		path:   path,
-		cells:  make([]cell, size),
-		mask:   uint64(size - 1),
-		notify: make(chan struct{}, 1),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+		f:        f,
+		bw:       bufio.NewWriterSize(f, 1<<16),
+		clk:      clk,
+		epoch:    clk.Now(),
+		path:     path,
+		node:     node,
+		maxBytes: cfg.maxBytes,
+		cells:    make([]cell, size),
+		mask:     uint64(size - 1),
+		notify:   make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	for i := range w.cells {
 		w.cells[i].seq.Store(uint64(i))
 	}
-	var flags byte
 	if _, ok := clk.(*clock.Virtual); ok {
-		flags |= FlagVirtualClock
+		w.flags |= FlagVirtualClock
 	}
 	var hdr [headerSize]byte
-	encodeHeader(hdr[:], flags, w.epoch, node)
+	encodeHeader(hdr[:], w.flags, w.epoch, node)
+	w.segBytes = headerSize
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		f.Close()
 		return nil, err
@@ -166,6 +196,40 @@ func (w *Writer) Written() uint64 { return w.written.Load() }
 // Truncated returns the number of string fields (or repeated groups)
 // that were cut to fit their fixed-width slot.
 func (w *Writer) Truncated() uint64 { return w.truncated.Load() }
+
+// Segments returns the number of rotations performed so far (0 means
+// everything is still in the base file).
+func (w *Writer) Segments() uint64 { return w.segments.Load() }
+
+// SegmentPath returns the path of rotation segment n (n ≥ 1) of the
+// log at path: "room.mrl" → "room.1.mrl". Segment 0 is path itself.
+func SegmentPath(path string, n int) string {
+	if n == 0 {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.%d%s", path[:len(path)-len(ext)], n, ext)
+}
+
+// IsSegment reports whether path names a rotation segment
+// (base.N.mrl) of a base log file that exists alongside it.
+// Directory scanners (dash backfill) use this to avoid double-loading
+// records that ReadLog already stitches in via the base file.
+func IsSegment(path string) bool {
+	ext := filepath.Ext(path)
+	stem := path[:len(path)-len(ext)]
+	numExt := filepath.Ext(stem)
+	if len(numExt) < 2 {
+		return false
+	}
+	for _, r := range numExt[1:] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	_, err := os.Stat(stem[:len(stem)-len(numExt)] + ext)
+	return err == nil
+}
 
 // Close drains outstanding records, flushes and syncs the file, and
 // returns the first write error encountered. Stop all producers
@@ -223,6 +287,24 @@ func (w *Writer) RecordEvent(e telemetry.Event) {
 	w.publish(c, pos)
 }
 
+// RecordAlert records one alert state transition. Alert transitions
+// are telemetry events (alert-pending/firing/resolved with the rule
+// name as Detail), so the payload mirrors RecEvent under its own
+// record type. Suitable as the alert engine transitions-log sink.
+func (w *Writer) RecordAlert(e telemetry.Event) {
+	c, pos, ok := w.claim()
+	if !ok {
+		w.drops.Add(1)
+		return
+	}
+	n, trunc := encodeEvent(c.buf[:], &e)
+	c.typ, c.n = RecAlert, uint16(n)
+	if trunc > 0 {
+		w.truncated.Add(uint64(trunc))
+	}
+	w.publish(c, pos)
+}
+
 // RecordSpan records one causal span. Suitable as a Tracer.SetSink
 // target.
 func (w *Writer) RecordSpan(s causal.Span) {
@@ -242,6 +324,9 @@ func (w *Writer) RecordSpan(s causal.Span) {
 // SetProbes records the temp-probe identity table: probe i of every
 // subsequent RecTempRow is probes[i].
 func (w *Writer) SetProbes(probes []telemetry.TempProbe) {
+	w.metaMu.Lock()
+	w.metaProbes = append(w.metaProbes[:0], probes...)
+	w.metaMu.Unlock()
 	for i := range probes {
 		c, pos, ok := w.claim()
 		if !ok {
@@ -332,6 +417,9 @@ func (w *Writer) RecordBoundary(tick uint64, region int, idx []int32, temps []fl
 // RecordMeta records run metadata (solver step size, machine count).
 // Call once after the solver is built.
 func (w *Writer) RecordMeta(step time.Duration, machines int) {
+	w.metaMu.Lock()
+	w.metaStep, w.metaMachines = step, machines
+	w.metaMu.Unlock()
 	c, pos, ok := w.claim()
 	if !ok {
 		w.drops.Add(1)
@@ -372,6 +460,7 @@ func (w *Writer) drainAvailable() int {
 		c.seq.Store(w.deq + w.mask + 1)
 		w.deq++
 		n++
+		w.maybeRotate()
 	}
 }
 
@@ -394,6 +483,54 @@ func (w *Writer) writeFrame(typ byte, payload []byte) {
 	}
 	w.setErr(err)
 	w.written.Add(1)
+	w.segBytes += int64(frameOverhead + len(payload))
+}
+
+// maybeRotate closes the current segment and opens the next once it
+// exceeds the configured size. Consumer goroutine only. The new
+// segment gets the same header (same epoch, node, flags) plus the
+// descriptor table and the cached META/probe records, so readers can
+// interpret it standalone.
+func (w *Writer) maybeRotate() {
+	if w.maxBytes <= 0 || w.segBytes < w.maxBytes {
+		return
+	}
+	f, err := os.Create(SegmentPath(w.path, w.seg+1))
+	if err != nil {
+		w.setErr(err)
+		w.maxBytes = 0 // rotation broken; keep appending to the current file
+		return
+	}
+	w.flush()
+	w.setErr(w.f.Sync())
+	w.setErr(w.f.Close())
+	w.seg++
+	w.segments.Add(1)
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	var hdr [headerSize]byte
+	encodeHeader(hdr[:], w.flags, w.epoch, w.node)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.setErr(err)
+	}
+	w.segBytes = headerSize
+	var payload [recFormatSize]byte
+	for i := range formats {
+		encodeFormat(payload[:], &formats[i])
+		w.writeFrame(RecFormat, payload[:])
+	}
+	w.metaMu.Lock()
+	step, machines := w.metaStep, w.metaMachines
+	probes := w.metaProbes
+	w.metaMu.Unlock()
+	var buf [cellBuf]byte
+	if step != 0 || machines != 0 {
+		w.writeFrame(RecMeta, buf[:encodeMeta(buf[:], step, machines)])
+	}
+	for i := range probes {
+		n, _ := encodeProbe(buf[:], i, &probes[i])
+		w.writeFrame(RecProbe, buf[:n])
+	}
 }
 
 func (w *Writer) flush() {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/darklab/mercury/internal/alert"
 	"github.com/darklab/mercury/internal/causal"
 	"github.com/darklab/mercury/internal/clock"
 	"github.com/darklab/mercury/internal/fiddle"
@@ -85,6 +86,10 @@ type Server struct {
 	// Flight recorder (nil unless WithRecorder).
 	rec Recorder
 
+	// Alert engine (nil unless WithAlerts; a nil engine is a no-op on
+	// every call, so the tick hook needs no guard).
+	alerts *alert.Engine
+
 	mu      sync.Mutex
 	lastSeq map[string]uint32
 
@@ -155,6 +160,15 @@ type Recorder interface {
 // temperature rows.
 func WithRecorder(rec Recorder) Option {
 	return func(s *Server) { s.rec = rec }
+}
+
+// WithAlerts attaches a compiled alert engine: the stepping ticker
+// evaluates it in lockstep after every solver step (EvalTick(n) at
+// virtual time n×step), and State grows thresholds and alert
+// sections. The caller builds the engine (rules, probes, surrogate
+// ETA hookup) and owns its exposure (/alerts, recorder sink).
+func WithAlerts(eng *alert.Engine) Option {
+	return func(s *Server) { s.alerts = eng }
 }
 
 // WithTempSampling tunes the temperature table: capacity samples
@@ -264,6 +278,10 @@ func (s *Server) Solver() *solver.Solver { return s.sol }
 // WithSurrogate).
 func (s *Server) Surrogate() *surrogate.Model { return s.surro }
 
+// Alerts returns the attached alert engine (nil without WithAlerts; a
+// nil engine is safe to call).
+func (s *Server) Alerts() *alert.Engine { return s.alerts }
+
 // WhatIf answers a steady-state query from the surrogate in
 // microseconds; when the surrogate declines and the caller allows it,
 // the real kernel answers instead, serialized against the stepping
@@ -344,6 +362,7 @@ func (s *Server) StartTicker() {
 					if s.temps != nil && n%s.sampleEvery == 0 {
 						s.temps.Sample(time.Duration(n)*step, s.fillFn)
 					}
+					s.alerts.EvalTick(n)
 					taken++
 				}
 				if taken > 1 {
@@ -608,6 +627,10 @@ type StateSnapshot struct {
 	// Surrogate reports fit quality of the fast what-if model, when one
 	// is attached.
 	Surrogate *surrogate.FitStats `json:"surrogate,omitempty"`
+	// Thresholds lists the freon Low/High/RedLine lines per watched
+	// probe, and Alerts the engine snapshot (alerting only).
+	Thresholds []alert.Probe   `json:"thresholds,omitempty"`
+	Alerts     *alert.Snapshot `json:"alerts,omitempty"`
 }
 
 // State builds a point-in-time snapshot for the control plane. It
@@ -641,6 +664,11 @@ func (s *Server) State() StateSnapshot {
 	if s.surro != nil {
 		st := s.surro.Stats()
 		snap.Surrogate = &st
+	}
+	if s.alerts != nil {
+		snap.Thresholds = s.alerts.Probes()
+		st := s.alerts.State()
+		snap.Alerts = &st
 	}
 	return snap
 }

@@ -25,6 +25,13 @@ type machineFit struct {
 	M      []float64
 	exGain []float64
 
+	// onestep retains the raw one-step regression solution W (q×nout,
+	// q = n+2+k regressors [temps, 1, inlet, utils], nout = n+1 outputs
+	// [temps, exhaust]): temps(t+1)[c] = Σ_r W[r·nout+c]·z[r]. It is the
+	// transient map TimeToThreshold iterates, where M alone only gives
+	// the steady-state destination.
+	onestep []float64
+
 	// Expanded validity envelope over the inputs [inlet, utils...]
 	// (length 1+len(utils) each).
 	envLo, envHi []float64
@@ -222,6 +229,8 @@ func (m *Model) fitMachine(sc *fitScratch, mi, count int, gen uint64) machineFit
 		mf.reason = "collinear trajectory (singular normal equations)"
 		return mf
 	}
+	mf.onestep = make([]float64, q*nout)
+	copy(mf.onestep, sc.W[:q*nout])
 
 	// Steady gains: (I − A) M = B, where A/B come out of W's rows.
 	sc.IA = ensure(sc.IA, n*n)

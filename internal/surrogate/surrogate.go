@@ -166,6 +166,10 @@ type Model struct {
 
 	qpool sync.Pool // *queryScratch
 
+	// Transient-query scratch (TimeToThreshold), built on first use.
+	transOnce sync.Once
+	trans     *transScratch
+
 	samples   atomic.Uint64
 	fits      atomic.Uint64
 	queries   atomic.Uint64
@@ -341,6 +345,11 @@ func (m *Model) Stats() FitStats {
 }
 
 // Counters for daemon metric export (monotonic).
+// ResidualTolerance returns the configured acceptable one-step RMS
+// prediction error (Config.ResidualTol after defaulting) — the line
+// the model-health alert rule compares fit residuals against.
+func (m *Model) ResidualTolerance() float64 { return m.cfg.ResidualTol }
+
 func (m *Model) SamplesTotal() uint64         { return m.samples.Load() }
 func (m *Model) FitsTotal() uint64            { return m.fits.Load() }
 func (m *Model) QueriesTotal() uint64         { return m.queries.Load() }

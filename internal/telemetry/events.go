@@ -51,6 +51,13 @@ const (
 	// EvMissedTicks is the stepping ticker catching up after overrun
 	// (value = ticks made up).
 	EvMissedTicks EventType = "missed-ticks"
+	// EvAlertPending, EvAlertFiring, and EvAlertResolved are alert
+	// state-machine transitions from internal/alert (machine/node from
+	// the rule's scope, value = the observed value — a temperature, a
+	// predicted ETA in seconds, a burn rate — and detail = rule name).
+	EvAlertPending  EventType = "alert-pending"
+	EvAlertFiring   EventType = "alert-firing"
+	EvAlertResolved EventType = "alert-resolved"
 )
 
 // Event is one entry of the thermal event log.
@@ -134,8 +141,16 @@ func NewEventLog(capacity int, clk clock.Clock) *EventLog {
 // concurrent use. Slow subscribers miss events rather than blocking
 // the emitter (they can re-sync from the ring with Since).
 func (l *EventLog) Emit(typ EventType, machine, node string, value float64, detail string) Event {
+	return l.EmitAt(l.clk.Now().Sub(l.epoch), typ, machine, node, value, detail)
+}
+
+// EmitAt is Emit with an explicit timestamp instead of a clock read.
+// The alert engine stamps its transitions with the exact solver tick
+// time, so the same rule set evaluated live, sharded, or during replay
+// produces bitwise-identical events regardless of where in a tick the
+// evaluation ran.
+func (l *EventLog) EmitAt(at time.Duration, typ EventType, machine, node string, value float64, detail string) Event {
 	e := Event{Type: typ, Machine: machine, Node: node, Value: value, Detail: detail}
-	at := l.clk.Now().Sub(l.epoch)
 	l.mu.Lock()
 	l.seq++
 	e.Seq = l.seq
@@ -201,6 +216,27 @@ func (l *EventLog) Since(after uint64) []Event {
 		}
 	}
 	return out
+}
+
+// ScanSince calls fn for each retained event with Seq > after, oldest
+// first, under the log's lock, and returns the latest sequence number.
+// Unlike Since it allocates nothing, so a per-tick consumer (the alert
+// engine's SLO accounting) can poll the ring from a hot loop. fn must
+// not call back into the log.
+func (l *EventLog) ScanSince(after uint64, fn func(Event)) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := l.head - l.n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for k := 0; k < l.n; k++ {
+		e := l.ring[(start+k)%len(l.ring)]
+		if e.Seq > after {
+			fn(e)
+		}
+	}
+	return l.seq
 }
 
 // Subscribe registers a live listener: every future event is sent to

@@ -216,3 +216,55 @@ func TestEventString(t *testing.T) {
 		t.Errorf("String = %q, want %q", got, want)
 	}
 }
+
+// TestEventLogWraparoundWithSink hammers a small ring from several
+// goroutines with a sink attached — the configuration every recording
+// daemon runs (EventLog teed into the flight recorder) — and checks
+// under -race that the sink saw every event exactly once and the ring
+// retains the newest window in order after wrapping many times.
+func TestEventLogWraparoundWithSink(t *testing.T) {
+	l := NewEventLog(4, nil)
+	var sinkMu sync.Mutex
+	seen := make(map[uint64]int)
+	l.SetSink(func(e Event) {
+		sinkMu.Lock()
+		seen[e.Seq]++
+		sinkMu.Unlock()
+	})
+	const workers, per = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Emit(EvPDOutput, "m1", "", float64(w*per+i), "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := uint64(workers * per)
+	if l.Seq() != total {
+		t.Fatalf("seq = %d, want %d", l.Seq(), total)
+	}
+	for seq := uint64(1); seq <= total; seq++ {
+		if seen[seq] != 1 {
+			t.Errorf("sink saw seq %d %d times, want exactly once", seq, seen[seq])
+		}
+	}
+	got := l.Since(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d events after wraparound, want 4", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != total-3+uint64(i) {
+			t.Errorf("retained[%d].Seq = %d, want %d", i, e.Seq, total-3+uint64(i))
+		}
+	}
+	// ScanSince walks the same retained window without allocating.
+	var scanned []uint64
+	last := l.ScanSince(total-4, func(e Event) { scanned = append(scanned, e.Seq) })
+	if last != total || len(scanned) != 4 || scanned[0] != total-3 {
+		t.Errorf("ScanSince = last %d, events %v, want last %d, seqs %d..%d", last, scanned, total, total-3, total)
+	}
+}

@@ -27,10 +27,12 @@
 # silently regress. Baselines recorded before -benchmem simply skip
 # this check.
 #
-# BenchmarkRecordWrite is additionally a must-zero: the flight-recorder
-# write path is documented as 0 allocs/op (docs/recordlog.md), so the
-# current run is checked on its own — the tripwire holds even before a
-# committed baseline carries the benchmark.
+# BenchmarkRecordWrite and BenchmarkAlertEval are additionally
+# must-zeros: the flight-recorder write path (docs/recordlog.md) and
+# the alert engine's per-tick evaluation (docs/observability.md) are
+# documented as 0 allocs/op, so the current run is checked on its own —
+# the tripwire holds even before a committed baseline carries the
+# benchmark.
 set -eu
 
 enforce=0
@@ -122,22 +124,23 @@ END {
 }
 ' "$allocstmp" - || echo allocs >> "$failtmp"
 
-# Must-zero tripwire: the flight-recorder write path has no baseline
-# grace period — any allocation in the current run is flagged.
+# Must-zero tripwire: the flight-recorder write path and the alert
+# engine's per-tick eval have no baseline grace period — any
+# allocation in the current run is flagged.
 extract_allocs "$cur" | awk -v level="$level" '
-$1 ~ /BenchmarkRecordWrite/ {
+$1 ~ /BenchmarkRecordWrite|BenchmarkAlertEval/ {
     checked++
     if ($2 > 0) {
         flagged++
-        printf "::%s::%s allocates %d times/op; the flight-recorder hot path must stay at 0 allocs/op (docs/recordlog.md)\n",
+        printf "::%s::%s allocates %d times/op; this hot path must stay at 0 allocs/op (docs/recordlog.md, docs/observability.md)\n",
             level, $1, $2
     }
 }
 END {
-    if (checked) printf "%d flight-recorder benchmark(s) checked against the must-zero allocs/op rule\n", checked
+    if (checked) printf "%d hot-path benchmark(s) checked against the must-zero allocs/op rule\n", checked
     exit flagged ? 3 : 0
 }
-' || echo record-allocs >> "$failtmp"
+' || echo must-zero-allocs >> "$failtmp"
 
 if [ "$enforce" = 1 ] && [ -s "$failtmp" ]; then
     echo "bench gate FAILED ($(tr '\n' ' ' < "$failtmp")); see ::error:: lines above" >&2
